@@ -1,0 +1,36 @@
+"""Fig. 7: characteristic hop count m_opt vs bandwidth utilization.
+
+Regenerates all six curves and checks the paper's headline claims: every
+real card stays below m_opt = 2 (relaying never pays), and only the
+Hypothetical Cabletron crosses the threshold (at R/B ~ 0.25).
+"""
+
+from repro.core.analytical import fig7_curves
+
+from conftest import print_table
+
+
+def test_bench_fig7(benchmark):
+    curves = benchmark(fig7_curves)
+
+    utilizations = curves[0].utilizations
+    header = ["Card (D)"] + ["R/B=%.2f" % u for u in utilizations]
+    rows = [
+        [curve.label] + ["%.2f" % m for m in curve.hop_counts]
+        for curve in curves
+    ]
+    print_table("Fig. 7: m_opt for different cards", header, rows)
+
+    by_name = {curve.card.name: curve for curve in curves}
+    # Paper: "since m_opt < 2 for all rates, only direct transmission is
+    # feasible" for every real card.
+    for name in ("Aironet 350", "Cabletron", "Mica2", "LEACH (n=4)", "LEACH (n=2)"):
+        assert max(by_name[name].hop_counts) < 2.0, name
+    # Paper: the hypothetical card reaches m_opt >= 2 at R/B = 0.25.
+    hypo = by_name["Hypothetical Cabletron"]
+    at_quarter = dict(zip(hypo.utilizations, hypo.hop_counts))[0.25]
+    assert at_quarter >= 2.0
+    # Curves are monotonically increasing in utilization (idling weight
+    # shrinks as the link gets busier).
+    for curve in curves:
+        assert list(curve.hop_counts) == sorted(curve.hop_counts)

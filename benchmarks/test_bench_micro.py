@@ -1,0 +1,120 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not paper artifacts — these time the hot paths that determine how large a
+scenario the simulator can handle: raw event throughput, a full MAC unicast
+transaction, an RREQ flood, and the closed-form route-energy evaluator.
+"""
+
+import random
+
+from repro.core.energy_model import FlowRoute, NodeEnergy, RouteEnergyEvaluator
+from repro.core.radio import CABLETRON
+from repro.net.topology import Placement, grid_placement, uniform_random_placement
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.mac import Mac
+from repro.sim.network import NetworkConfig, WirelessNetwork
+from repro.sim.packet import make_data_packet
+from repro.sim.phy import Phy
+from repro.traffic.flows import FlowSpec
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Schedule-and-fire throughput of the event kernel."""
+
+    def run():
+        sim = Simulator()
+        count = 10_000
+        for i in range(count):
+            sim.schedule(float(i) * 1e-4, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_bench_mac_unicast_transaction(benchmark):
+    """RTS/CTS/DATA/ACK round trips between two nodes."""
+
+    def run():
+        sim = Simulator(seed=2)
+        channel = Channel(sim, {0: (0.0, 0.0), 1: (100.0, 0.0)}, 250.0)
+        macs = {}
+        for node_id in (0, 1):
+            phy = Phy(sim, channel, node_id, CABLETRON,
+                      NodeEnergy(card=CABLETRON))
+            macs[node_id] = Mac(sim, phy)
+        delivered = []
+        macs[1].on_deliver = lambda p: delivered.append(p)
+        for seqno in range(50):
+            macs[0].send(
+                make_data_packet(origin=0, final_dst=1, src=0, dst=1,
+                                 seqno=seqno)
+            )
+        sim.run()
+        return len(delivered)
+
+    delivered = benchmark(run)
+    assert delivered == 50
+
+
+def test_bench_route_discovery_flood(benchmark):
+    """One DSR flood across a 49-node grid (all nodes awake)."""
+
+    def run():
+        placement = grid_placement(7, 300.0, 300.0)
+        flows = [FlowSpec(flow_id=0, source=0, destination=48,
+                          rate_bps=2000.0, start=0.5)]
+        config = NetworkConfig(
+            placement=placement, card=CABLETRON, protocol="DSR-Active",
+            flows=flows, duration=3.0, seed=1,
+        )
+        net = WirelessNetwork(config)
+        net.run()
+        return net.extract_routes()
+
+    routes = benchmark(run)
+    assert 0 in routes
+
+
+def test_bench_route_energy_evaluator(benchmark):
+    """Closed-form E_network over 20 flows on 100 nodes."""
+    rng = random.Random(5)
+    placement = uniform_random_placement(100, 1000.0, 1000.0, rng)
+    node_ids = placement.node_ids
+    routes = []
+    for _ in range(20):
+        length = rng.randint(2, 6)
+        path = tuple(rng.sample(node_ids, length))
+        routes.append(FlowRoute(path=path, rate=4000.0))
+    evaluator = RouteEnergyEvaluator(placement.positions, CABLETRON)
+
+    def run():
+        return evaluator.evaluate(routes, duration=600.0, scheduling="odpm")
+
+    energy = benchmark(run)
+    assert energy.e_network > 0
+
+
+def test_bench_full_simulation_second(benchmark):
+    """Simulated-seconds-per-wall-second for a 30-node TITAN-PC network."""
+
+    def run():
+        rng = random.Random(4)
+        placement = uniform_random_placement(
+            30, 400.0, 400.0, rng, require_connected_range=CABLETRON.max_range
+        )
+        flows = [
+            FlowSpec(flow_id=i, source=src, destination=dst,
+                     rate_bps=4000.0, start=1.0 + i)
+            for i, (src, dst) in enumerate(((0, 9), (5, 20), (12, 28)))
+        ]
+        config = NetworkConfig(
+            placement=placement, card=CABLETRON, protocol="TITAN-PC",
+            flows=flows, duration=20.0, seed=4,
+        )
+        return WirelessNetwork(config).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.delivery_ratio > 0.9

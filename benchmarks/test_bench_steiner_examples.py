@@ -1,0 +1,106 @@
+"""§3 constructions: ST1/ST2 (Eqs. 6–7), SF1/SF2 (Eqs. 8–9) and MPC.
+
+Regenerates the worst-case analysis of Figs. 1–6: equal-weight minimum
+Steiner trees whose network energies deviate by (k+3)/4, and Steiner
+forests whose relay idling deviates by up to 3k/(2k+1) once endpoint idling
+is charged.
+"""
+
+import networkx as nx
+
+from repro.core.design_problem import SteinerForestExample, SteinerTreeExample
+from repro.net.mpc import mpc_multi_commodity, mpc_single_sink
+
+from conftest import print_table, run_once
+
+
+def test_bench_st1_st2_deviation(benchmark):
+    """Eqs. 6–7 across k: the ST1/ST2 communication gap grows linearly."""
+
+    def build():
+        rows = []
+        for k in (1, 2, 4, 8, 16, 32):
+            example = SteinerTreeExample(k=k)
+            rows.append(
+                (k, example.st1_energy(), example.st2_energy(),
+                 example.st1_energy() / example.st2_energy(),
+                 example.deviation_ratio())
+            )
+        return rows
+
+    rows = benchmark(build)
+    print_table(
+        "Figs. 2-3 / Eqs. 6-7: E_ST1 vs E_ST2 (z=1, alpha=1, t=1)",
+        ["k", "E_ST1", "E_ST2", "ratio", "(k+3)/4 comm. deviation"],
+        rows,
+    )
+    # The total-energy ratio approaches the communication deviation as k
+    # grows (idling washes out).
+    last = rows[-1]
+    assert last[3] > 0.8 * last[4]
+
+
+def test_bench_sf1_sf2_deviation(benchmark):
+    """Eqs. 8–9 across k plus the endpoint-inclusive constant ratio."""
+
+    def build():
+        rows = []
+        for k in (1, 2, 4, 8, 16, 32):
+            example = SteinerForestExample(k=k)
+            rows.append(
+                (k, example.sf1_energy(), example.sf2_energy(),
+                 example.endpoint_inclusive_ratio())
+            )
+        return rows
+
+    rows = benchmark(build)
+    print_table(
+        "Figs. 5-6 / Eqs. 8-9: E_SF1 vs E_SF2 (z=1, alpha=1, t=1)",
+        ["k", "E_SF1", "E_SF2", "3k/(2k+1)"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] >= row[2]          # SF2 never worse
+        assert row[3] < 1.5              # bounded constant
+
+
+def test_bench_mpc_on_paper_networks(benchmark):
+    """MPC output quality on the Fig. 1 and Fig. 4 networks."""
+
+    def run():
+        tree_example = SteinerTreeExample(k=6)
+        tree_result = mpc_single_sink(
+            tree_example.graph(), tree_example.sink, list(tree_example.sources)
+        )
+        forest_example = SteinerForestExample(k=6)
+        pairs = [
+            (forest_example.source(i), forest_example.destination(i))
+            for i in range(1, 7)
+        ]
+        forest_result = mpc_multi_commodity(
+            forest_example.graph(), pairs, endpoints_free=True
+        )
+        return tree_example, tree_result, forest_example, forest_result
+
+    tree_example, tree_result, forest_example, forest_result = run_once(
+        benchmark, run
+    )
+    print_table(
+        "MPC on the paper's worst-case networks (k=6)",
+        ["Instance", "MPC total", "Best (ST2/SF2)", "Worst (ST1/SF1)"],
+        [
+            ("single-sink", tree_result.total_cost,
+             tree_example.st2_energy(), tree_example.st1_energy()),
+            ("multi-commodity", forest_result.total_cost,
+             forest_example.sf2_energy(), forest_example.sf1_energy()),
+        ],
+    )
+    assert tree_example.st2_energy() <= tree_result.total_cost <= (
+        tree_example.st1_energy() + 1e-9
+    )
+    assert forest_example.sf2_energy() <= forest_result.total_cost <= (
+        forest_example.sf1_energy() + 1e-9
+    )
+    # Every demand remains routable inside the MPC subgraph.
+    for source in tree_example.sources:
+        assert nx.has_path(tree_result.subgraph, source, tree_example.sink)

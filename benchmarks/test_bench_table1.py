@@ -1,0 +1,55 @@
+"""Table 1: radio parameters for the paper's wireless cards.
+
+Regenerates the table (in mW, as printed in the paper) and microbenchmarks
+the transmit-power model, which sits on the hot path of both the simulator
+and the analytic evaluators.
+"""
+
+from repro.core.radio import CARD_REGISTRY, CABLETRON, fig7_card_configs
+
+from conftest import print_table
+
+
+def test_bench_table1(benchmark):
+    def build_rows():
+        rows = []
+        for key, card in sorted(CARD_REGISTRY.items()):
+            rows.append(
+                (
+                    card.name,
+                    card.p_idle * 1e3,
+                    card.p_rx * 1e3,
+                    card.p_base * 1e3,
+                    "%.2g * d^%g" % (card.alpha2 * 1e3, card.path_loss_exponent),
+                    card.max_range,
+                )
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    print_table(
+        "Table 1: radio parameters (mW; P_tx(d) = P_base + alpha2 * d^n)",
+        ["Card", "P_idle", "P_rx", "P_base", "P_t(d)", "D (m)"],
+        rows,
+    )
+    names = {row[0] for row in rows}
+    assert {"Aironet 350", "Cabletron", "Hypothetical Cabletron",
+            "Mica2", "LEACH (n=4)", "LEACH (n=2)"} <= names
+
+
+def test_bench_transmit_power_model(benchmark):
+    """Microbench: P_tx(d) evaluation (hot path of PHY and evaluators)."""
+
+    def evaluate():
+        total = 0.0
+        for d in range(1, 251):
+            total += CABLETRON.transmit_power(float(d))
+        return total
+
+    total = benchmark(evaluate)
+    assert total > 0
+
+
+def test_bench_fig7_card_configs(benchmark):
+    configs = benchmark(fig7_card_configs)
+    assert len(configs) == 6

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Network lifetime: the paper's future-work extension, in action.
+
+The paper minimizes instantaneous network energy and concedes that this
+"does not necessarily translate into longer network lifetime" (§6).  This
+example measures that gap: it runs three protocols on the same network,
+extrapolates per-node battery depletion from the measured power draw, and
+plots the survival curves side by side in the terminal.
+
+Run:
+    python examples/lifetime_analysis.py
+"""
+
+import random
+
+from repro.core.radio import CABLETRON, get_card
+from repro.metrics.lifetime import lifetime_from_run
+from repro.metrics.plotting import AsciiPlot
+from repro.net.topology import uniform_random_placement
+from repro.sim.network import NetworkConfig, WirelessNetwork
+from repro.traffic.flows import random_flows
+
+BATTERY_JOULES = 5_000.0  # a small battery keeps the horizon readable
+
+
+def run_protocol(protocol: str, placement, flows):
+    config = NetworkConfig(
+        placement=placement, card=CABLETRON, protocol=protocol,
+        flows=flows, duration=60.0, seed=7,
+    )
+    network = WirelessNetwork(config)
+    network.run()
+    return lifetime_from_run(network, battery_joules=BATTERY_JOULES)
+
+
+def main() -> None:
+    rng = random.Random(7)
+    placement = uniform_random_placement(
+        25, 400.0, 400.0, rng, require_connected_range=CABLETRON.max_range
+    )
+    flows = random_flows(placement.node_ids, 4, 4000.0, rng,
+                         start_window=(5.0, 10.0))
+
+    plot = AsciiPlot(
+        title="Network survival under %.0f J batteries" % BATTERY_JOULES,
+        xlabel="time (hours)", ylabel="fraction of nodes alive",
+    )
+    print("%-12s %22s %22s" % ("protocol", "first death (h)",
+                               "partition (h)"))
+    for protocol in ("TITAN-PC", "DSR-ODPM", "DSR-Active"):
+        report = run_protocol(protocol, placement, flows)
+        partition = report.time_to_partition
+        print(
+            "%-12s %22.2f %22s"
+            % (
+                protocol,
+                report.time_to_first_death / 3600,
+                "%.2f" % (partition / 3600) if partition else "never",
+            )
+        )
+        curve = report.survival_curve(points=16)
+        plot.add_series(
+            protocol,
+            [t / 3600 for t, _ in curve],
+            [fraction for _, fraction in curve],
+        )
+    print()
+    print(plot.render())
+    print(
+        "\nMinimizing instantaneous energy (TITAN-PC) stretches time-to-first-"
+        "\ndeath by keeping most nodes asleep — but concentrating traffic on a"
+        "\nsmall backbone also concentrates drain, which is exactly the"
+        "\nlifetime/energy tension the paper leaves as future work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: run two protocols on a small network and compare energy.
+
+The fastest tour of the library: build a 30-node random network with the
+Cabletron card, run the paper's best protocol (TITAN-PC, idling-first) and
+the always-on baseline (DSR-Active), and print delivery ratio, energy
+goodput and the energy breakdown.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import quick_run
+
+
+def main() -> None:
+    print("Energy-efficient network design quickstart")
+    print("(50 Kbit of CBR traffic over a 30-node ad hoc network)\n")
+
+    header = "%-12s %-10s %-16s %-14s %-12s" % (
+        "protocol", "delivery", "goodput (bit/J)", "E_net (J)", "E_tx (J)"
+    )
+    print(header)
+    print("-" * len(header))
+    for protocol in ("TITAN-PC", "DSR-ODPM", "DSR-Active"):
+        result = quick_run(protocol=protocol, duration=60.0, seed=3)
+        print(
+            "%-12s %-10.3f %-16.0f %-14.1f %-12.2f"
+            % (
+                protocol,
+                result.delivery_ratio,
+                result.energy_goodput,
+                result.e_network,
+                result.transmit_energy,
+            )
+        )
+
+    print(
+        "\nTITAN-PC (minimize idling energy first) delivers the same data for"
+        "\na fraction of the energy of the always-on network: idling, not"
+        "\ntransmission, dominates the energy bill of wireless networks."
+    )
+
+
+if __name__ == "__main__":
+    main()

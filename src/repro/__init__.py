@@ -1,0 +1,92 @@
+"""repro: reproduction of "Heuristic Approaches to Energy-Efficient Network
+Design Problem" (Sengul & Kravets, ICDCS 2007).
+
+The package provides:
+
+* ``repro.core`` — the paper's energy model (Eqs. 1–5), the characteristic
+  hop count analysis (Eq. 15, Fig. 7) and the §3 problem formalization;
+* ``repro.sim`` — a from-scratch discrete-event wireless simulator (PHY,
+  CSMA/CA MAC, IEEE 802.11 PSM) standing in for ns-2;
+* ``repro.routing`` / ``repro.power`` — the three heuristic approaches
+  (MTPR/MTPR+, DSRH/DSDVH, DSR-ODPM/TITAN) and their power managers;
+* ``repro.experiments`` — presets and runners for every figure and table.
+
+Quickstart::
+
+    from repro import quick_run
+    result = quick_run(protocol="TITAN-PC", rate_kbps=4.0, seed=1)
+    print(result.delivery_ratio, result.energy_goodput)
+"""
+
+from repro.core.radio import CARD_REGISTRY, RadioModel, get_card
+from repro.core.analytical import characteristic_hop_count, optimal_hop_count
+from repro.core.energy_model import (
+    FlowRoute,
+    NetworkEnergy,
+    NodeEnergy,
+    RouteEnergyEvaluator,
+)
+from repro.metrics.collectors import RunResult, aggregate_runs
+from repro.sim.network import NetworkConfig, PROTOCOLS, WirelessNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CARD_REGISTRY",
+    "FlowRoute",
+    "NetworkConfig",
+    "NetworkEnergy",
+    "NodeEnergy",
+    "PROTOCOLS",
+    "RadioModel",
+    "RouteEnergyEvaluator",
+    "RunResult",
+    "WirelessNetwork",
+    "aggregate_runs",
+    "characteristic_hop_count",
+    "get_card",
+    "optimal_hop_count",
+    "quick_run",
+    "__version__",
+]
+
+
+def quick_run(
+    protocol: str = "TITAN-PC",
+    node_count: int = 30,
+    field_size: float = 400.0,
+    flow_count: int = 5,
+    rate_kbps: float = 4.0,
+    duration: float = 60.0,
+    seed: int = 1,
+    card_key: str = "cabletron",
+) -> RunResult:
+    """Build and run a small scenario in one call (used by the quickstart).
+
+    Returns the :class:`RunResult` with delivery ratio, energy goodput and
+    the full energy breakdown.
+    """
+    import random
+
+    from repro.net.topology import uniform_random_placement
+    from repro.traffic.flows import random_flows
+
+    card = get_card(card_key)
+    rng = random.Random(seed)
+    placement = uniform_random_placement(
+        node_count, field_size, field_size, rng,
+        require_connected_range=card.max_range,
+    )
+    flows = random_flows(
+        placement.node_ids, flow_count, rate_kbps * 1000, rng,
+        start_window=(5.0, 10.0),
+    )
+    config = NetworkConfig(
+        placement=placement,
+        card=card,
+        protocol=protocol,
+        flows=flows,
+        duration=duration,
+        seed=seed,
+    )
+    return WirelessNetwork(config).run()

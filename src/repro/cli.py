@@ -1,0 +1,296 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig7
+    python -m repro fig9  --scale smoke
+    python -m repro fig14 --scale bench
+    python -m repro table2 --scale smoke
+    python -m repro run --protocol TITAN-PC --rate 4 --nodes 40
+    python -m repro lifetime --protocol TITAN-PC
+
+Figures render as ASCII plots (see :mod:`repro.metrics.plotting`); tables
+print aligned rows.  ``--scale`` selects ``smoke`` (seconds), ``bench``
+(default, minutes) or ``paper`` (the full §5.2 durations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.analytical import fig7_curves
+from repro.core.radio import CARD_REGISTRY
+from repro.experiments.runner import frozen_route_goodput, sweep
+from repro.experiments.scenarios import (
+    HIGH_RATES_KBPS,
+    density_network,
+    grid_network,
+    large_network,
+    small_network,
+)
+from repro.metrics.plotting import AsciiPlot, figure_from_sweep
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    print("Table 1: radio parameters (mW)")
+    print("%-24s %8s %8s %8s  %s" % ("Card", "P_idle", "P_rx", "P_base",
+                                     "P_t(d) [mW]"))
+    for key, card in sorted(CARD_REGISTRY.items()):
+        print(
+            "%-24s %8.1f %8.1f %8.1f  %.2g * d^%g"
+            % (
+                card.name,
+                card.p_idle * 1e3,
+                card.p_rx * 1e3,
+                card.p_base * 1e3,
+                card.alpha2 * 1e3,
+                card.path_loss_exponent,
+            )
+        )
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    plot = AsciiPlot(
+        title="Fig. 7: m_opt for different cards",
+        xlabel="Bandwidth utilization (R/B)",
+        ylabel="Hop count (m_opt)",
+    )
+    for curve in fig7_curves():
+        plot.add_series(curve.label, curve.utilizations, curve.hop_counts)
+    print(plot.render())
+
+
+def _field_figure(args: argparse.Namespace, metric: str, title: str,
+                  scenario_factory) -> None:
+    scenario = scenario_factory(scale=args.scale)
+    rates = scenario.rates_kbps if args.scale == "paper" else (2.0, 4.0, 6.0)
+    grid = sweep(scenario, rates_kbps=rates)
+    series = {}
+    for protocol in scenario.protocols:
+        values = [
+            getattr(grid[(protocol, rate)], metric).mean for rate in rates
+        ]
+        series[protocol] = values
+    print(
+        figure_from_sweep(
+            title, "Rate (Kbit/s)", metric.replace("_", " "),
+            list(rates), series,
+        )
+    )
+
+
+def _cmd_fig8(args):
+    _field_figure(args, "delivery_ratio",
+                  "Fig. 8: delivery ratio, 500x500 m^2", small_network)
+
+
+def _cmd_fig9(args):
+    _field_figure(args, "energy_goodput",
+                  "Fig. 9: energy goodput (bit/J), 500x500 m^2", small_network)
+
+
+def _cmd_fig11(args):
+    _field_figure(args, "delivery_ratio",
+                  "Fig. 11: delivery ratio, 1300x1300 m^2", large_network)
+
+
+def _cmd_fig12(args):
+    _field_figure(args, "energy_goodput",
+                  "Fig. 12: energy goodput (bit/J), 1300x1300 m^2",
+                  large_network)
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    from repro.experiments.runner import run_many
+
+    rates = (2.0, 4.0, 6.0)
+    plot = AsciiPlot(
+        title="Fig. 10: transmit energy (J)",
+        xlabel="Rate (Kbit/s)", ylabel="Transmit energy (J)",
+    )
+    for label, factory in (("500x500", small_network),
+                           ("1300x1300", large_network)):
+        scenario = factory(scale=args.scale)
+        for protocol in ("TITAN-PC", "DSR-ODPM"):
+            values = [
+                run_many(scenario, protocol, rate).transmit_energy.mean
+                for rate in rates
+            ]
+            plot.add_series("%s (%s)" % (protocol, label), rates, values)
+    print(plot.render())
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.experiments.runner import run_many
+
+    print("Table 2: performance with node density (4 Kbit/s per flow)")
+    print("%-8s %-14s %-22s %-22s" % ("# nodes", "Protocol",
+                                      "Delivery ratio", "Goodput (bit/J)"))
+    for node_count in (300, 400):
+        scenario = density_network(node_count, scale=args.scale)
+        for protocol in scenario.protocols:
+            agg = run_many(scenario, protocol, 4.0)
+            print(
+                "%-8d %-14s %6.3f ± %-12.3f %8.1f ± %-10.1f"
+                % (
+                    node_count, protocol,
+                    agg.delivery_ratio.mean, agg.delivery_ratio.half_width,
+                    agg.energy_goodput.mean, agg.energy_goodput.half_width,
+                )
+            )
+
+
+def _grid_figure(args: argparse.Namespace, rates, scheduling: str,
+                 title: str) -> None:
+    scenario = grid_network(scale=args.scale)
+    plot = AsciiPlot(title=title, xlabel="Rate (Kbit/s)",
+                     ylabel="Energy goodput (Kbit/J)")
+    for protocol in scenario.protocols:
+        points = frozen_route_goodput(
+            scenario, protocol, tuple(rates), scheduling, duration=100.0
+        )
+        plot.add_series(
+            protocol, rates, [p.energy_goodput / 1e3 for p in points]
+        )
+    print(plot.render())
+
+
+def _cmd_fig13(args):
+    _grid_figure(args, [2.0, 3.0, 4.0, 5.0], "perfect",
+                 "Fig. 13: goodput, low rates, perfect sleep scheduling")
+
+
+def _cmd_fig14(args):
+    _grid_figure(args, [2.0, 3.0, 4.0, 5.0], "odpm",
+                 "Fig. 14: goodput, low rates, ODPM scheduling")
+
+
+def _cmd_fig15(args):
+    _grid_figure(args, list(HIGH_RATES_KBPS), "perfect",
+                 "Fig. 15: goodput, high rates, perfect sleep scheduling")
+
+
+def _cmd_fig16(args):
+    _grid_figure(args, list(HIGH_RATES_KBPS), "odpm",
+                 "Fig. 16: goodput, high rates, ODPM scheduling")
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from repro import quick_run
+
+    result = quick_run(
+        protocol=args.protocol,
+        node_count=args.nodes,
+        rate_kbps=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        card_key=args.card,
+    )
+    print("protocol:        %s" % args.protocol)
+    print("delivery ratio:  %.3f" % result.delivery_ratio)
+    print("energy goodput:  %.1f bit/J" % result.energy_goodput)
+    print("network energy:  %.1f J" % result.e_network)
+    print("transmit energy: %.2f J" % result.transmit_energy)
+    print("control packets: %d" % result.control_packets)
+    print("relays used:     %d" % result.relays_used)
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> None:
+    import random
+
+    from repro.core.radio import get_card
+    from repro.metrics.lifetime import lifetime_from_run
+    from repro.net.topology import uniform_random_placement
+    from repro.sim.network import NetworkConfig, WirelessNetwork
+    from repro.traffic.flows import random_flows
+
+    card = get_card(args.card)
+    rng = random.Random(args.seed)
+    placement = uniform_random_placement(
+        args.nodes, 400.0, 400.0, rng,
+        require_connected_range=card.max_range,
+    )
+    flows = random_flows(placement.node_ids, 5, args.rate * 1000, rng,
+                         start_window=(5.0, 10.0))
+    network = WirelessNetwork(NetworkConfig(
+        placement=placement, card=card, protocol=args.protocol,
+        flows=flows, duration=args.duration, seed=args.seed,
+    ))
+    network.run()
+    report = lifetime_from_run(network)
+    print("protocol:            %s" % args.protocol)
+    print("time to first death: %.0f s" % report.time_to_first_death)
+    if report.time_to_partition is not None:
+        print("time to partition:   %.0f s" % report.time_to_partition)
+    else:
+        print("time to partition:   never (within battery horizon)")
+    print("survival curve (t, fraction alive):")
+    for t, fraction in report.survival_curve(points=6):
+        print("  %8.0f s  %.2f" % (t, fraction))
+
+
+def _cmd_validate(args: argparse.Namespace) -> None:
+    from repro.experiments.validation import print_report, validate
+
+    ok = print_report(validate())
+    if not ok:
+        raise SystemExit(1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser with one subcommand per artifact."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables and figures from 'Heuristic Approaches "
+        "to Energy-Efficient Network Design Problem' (ICDCS 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, func, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=func)
+        p.add_argument("--scale", choices=("smoke", "bench", "paper"),
+                       default="bench")
+        return p
+
+    add("table1", _cmd_table1, "radio card parameters")
+    add("fig7", _cmd_fig7, "characteristic hop count curves")
+    add("fig8", _cmd_fig8, "small-network delivery ratio")
+    add("fig9", _cmd_fig9, "small-network energy goodput")
+    add("fig10", _cmd_fig10, "transmit energy comparison")
+    add("fig11", _cmd_fig11, "large-network delivery ratio")
+    add("fig12", _cmd_fig12, "large-network energy goodput")
+    add("table2", _cmd_table2, "density study")
+    add("fig13", _cmd_fig13, "grid, low rates, perfect scheduling")
+    add("fig14", _cmd_fig14, "grid, low rates, ODPM scheduling")
+    add("fig15", _cmd_fig15, "grid, high rates, perfect scheduling")
+    add("fig16", _cmd_fig16, "grid, high rates, ODPM scheduling")
+
+    add("validate", _cmd_validate, "check every reproduced paper claim")
+
+    run_parser = add("run", _cmd_run, "run one ad hoc scenario")
+    lifetime_parser = add("lifetime", _cmd_lifetime,
+                          "network lifetime extrapolation")
+    for p in (run_parser, lifetime_parser):
+        p.add_argument("--protocol", default="TITAN-PC")
+        p.add_argument("--nodes", type=int, default=30)
+        p.add_argument("--rate", type=float, default=4.0,
+                       help="per-flow rate in Kbit/s")
+        p.add_argument("--duration", type=float, default=60.0)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--card", default="cabletron")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

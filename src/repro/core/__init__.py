@@ -1,0 +1,67 @@
+"""Core: the paper's energy model, analysis and problem formalization."""
+
+from repro.core.analytical import (
+    HopCountCurve,
+    characteristic_hop_count,
+    fig7_curves,
+    minimum_alpha2_for_relaying,
+    optimal_hop_count,
+    relaying_saves_energy,
+    route_energy,
+)
+from repro.core.design_problem import (
+    Demand,
+    DesignInstance,
+    Solution,
+    SteinerForestExample,
+    SteinerTreeExample,
+)
+from repro.core.energy_model import (
+    FlowRoute,
+    NetworkEnergy,
+    NodeEnergy,
+    RouteEnergyEvaluator,
+)
+from repro.core.radio import (
+    AIRONET_350,
+    CABLETRON,
+    CARD_REGISTRY,
+    HYPOTHETICAL_CABLETRON,
+    LEACH_N2,
+    LEACH_N4,
+    MICA2,
+    PowerMode,
+    RadioModel,
+    RadioState,
+    get_card,
+)
+
+__all__ = [
+    "AIRONET_350",
+    "CABLETRON",
+    "CARD_REGISTRY",
+    "Demand",
+    "DesignInstance",
+    "FlowRoute",
+    "HYPOTHETICAL_CABLETRON",
+    "HopCountCurve",
+    "LEACH_N2",
+    "LEACH_N4",
+    "MICA2",
+    "NetworkEnergy",
+    "NodeEnergy",
+    "PowerMode",
+    "RadioModel",
+    "RadioState",
+    "RouteEnergyEvaluator",
+    "Solution",
+    "SteinerForestExample",
+    "SteinerTreeExample",
+    "characteristic_hop_count",
+    "fig7_curves",
+    "get_card",
+    "minimum_alpha2_for_relaying",
+    "optimal_hop_count",
+    "relaying_saves_energy",
+    "route_energy",
+]

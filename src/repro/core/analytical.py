@@ -1,0 +1,185 @@
+"""Analytical study of power control: the characteristic hop count (§5.1).
+
+The paper asks: between two nodes that are already in transmission range of
+each other, when does inserting relays save energy?  The answer is the
+*characteristic hop count* — the optimal number of hops ``m_opt`` between the
+endpoints once idling energy of the on-route nodes is accounted for.
+
+For a route of ``m`` hops spanning distance ``D`` (so ``m - 1`` relays), rate
+``R``, bandwidth ``B`` and observation time ``t``, the route energy (Eq. 14) is
+
+    E_r = (R/B) * t * (sum_i P_tx(d_i) + m * P_rx)
+          + (m + 1 - 2 m (R/B)) * t * P_idle
+
+with ``P_tx(d) = P_base + alpha2 * d^n``.  ``E_r`` is convex in the hop
+lengths, so it is minimized at equal hops ``d_i = D / m``; solving
+``dE_r/dm = 0`` yields Eq. 15:
+
+    m_opt = D * ( (n - 1) * alpha2
+                  / (P_base + P_rx + (1 - 2 R/B) / (R/B) * P_idle) ) ** (1/n)
+
+Only ``floor(m_opt) >= 2`` justifies relaying.  The paper shows that for every
+real card in Table 1 ``m_opt < 2`` at all utilizations — power control as a
+primary optimization cannot save energy there — while the Hypothetical
+Cabletron card (alpha2 = 5.2e-6 mW/m^4) crosses the threshold at
+``R/B = 0.25``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.radio import RadioModel, fig7_card_configs
+
+
+def optimal_hop_count(
+    card: RadioModel, distance: float, utilization: float
+) -> float:
+    """Evaluate Eq. 15: the continuous optimal hop count ``m_opt``.
+
+    Parameters
+    ----------
+    card:
+        Radio model supplying ``P_base``, ``P_rx``, ``P_idle``, ``alpha2``
+        and the path-loss exponent ``n``.
+    distance:
+        End-to-end distance ``D`` in meters.
+    utilization:
+        Bandwidth utilization ``R/B``.  Must lie in ``(0, 0.5]``: each relay
+        both receives and transmits every packet, so a flow can occupy at
+        most half the node's bandwidth.
+
+    Returns
+    -------
+    float
+        ``m_opt`` (continuous; may be < 1, meaning even a single full-power
+        hop is "too much" and the direct hop is forced).
+    """
+    if distance <= 0:
+        raise ValueError("distance must be positive")
+    if not 0 < utilization <= 0.5:
+        raise ValueError("utilization R/B must be in (0, 0.5], got %r" % utilization)
+    n = card.path_loss_exponent
+    idle_weight = (1.0 - 2.0 * utilization) / utilization
+    denominator = card.p_base + card.p_rx + idle_weight * card.p_idle
+    if denominator <= 0:
+        raise ValueError("non-positive fixed per-hop cost; check card parameters")
+    if card.alpha2 == 0:
+        return 0.0
+    return distance * ((n - 1.0) * card.alpha2 / denominator) ** (1.0 / n)
+
+
+def characteristic_hop_count(
+    card: RadioModel, distance: float, utilization: float
+) -> int:
+    """The integral characteristic hop count.
+
+    Following the paper: ``ceil(m_opt)`` if ``m_opt < 1`` (at least one hop is
+    always needed) and ``floor(m_opt)`` otherwise.
+    """
+    m_opt = optimal_hop_count(card, distance, utilization)
+    if m_opt < 1.0:
+        return max(1, math.ceil(m_opt))
+    return math.floor(m_opt)
+
+
+def relaying_saves_energy(
+    card: RadioModel, distance: float, utilization: float
+) -> bool:
+    """True when inserting relays between in-range nodes saves energy.
+
+    By definition this requires a characteristic hop count of at least two.
+    """
+    return characteristic_hop_count(card, distance, utilization) >= 2
+
+
+def route_energy(
+    card: RadioModel,
+    distance: float,
+    hops: int,
+    utilization: float,
+    duration: float = 1.0,
+) -> float:
+    """Evaluate Eq. 14: total on-route energy for an ``hops``-hop route.
+
+    Assumes equal hop lengths ``D / hops`` (optimal by convexity), all
+    on-route nodes in active mode, and ignores control overhead, sleeping and
+    switching — exactly the assumptions of §5.1.
+
+    Returns energy in joules over ``duration`` seconds.
+    """
+    if hops < 1:
+        raise ValueError("a route has at least one hop")
+    if not 0 <= utilization <= 0.5:
+        raise ValueError("utilization R/B must be in [0, 0.5]")
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    hop_distance = distance / hops
+    tx_power_total = hops * card.transmit_power(hop_distance)
+    rx_power_total = hops * card.p_rx
+    communication = utilization * duration * (tx_power_total + rx_power_total)
+    # m + 1 nodes on the route; each transmitting/receiving node spends
+    # 2 * (R/B) of its time communicating, the rest idling.
+    idling = (hops + 1 - 2 * hops * utilization) * duration * card.p_idle
+    return communication + idling
+
+
+def minimum_alpha2_for_relaying(
+    card: RadioModel, distance: float, utilization: float, target_hops: int = 2
+) -> float:
+    """Smallest amplifier coefficient for which ``m_opt >= target_hops``.
+
+    Inverts Eq. 15 for ``alpha2``; this is how the paper derives the
+    Hypothetical Cabletron card (alpha2 >= 5.16e-6 mW/m^4 at R/B = 0.25,
+    D = 250 m).
+    """
+    if target_hops < 1:
+        raise ValueError("target_hops must be >= 1")
+    n = card.path_loss_exponent
+    idle_weight = (1.0 - 2.0 * utilization) / utilization
+    denominator = card.p_base + card.p_rx + idle_weight * card.p_idle
+    return (target_hops / distance) ** n * denominator / (n - 1.0)
+
+
+@dataclass(frozen=True)
+class HopCountCurve:
+    """One line of Fig. 7: ``m_opt`` as a function of bandwidth utilization."""
+
+    card: RadioModel
+    distance: float
+    utilizations: tuple[float, ...]
+    hop_counts: tuple[float, ...]
+
+    @property
+    def label(self) -> str:
+        return "%s (D=%gm)" % (self.card.name, self.distance)
+
+    def crosses_relaying_threshold(self) -> bool:
+        """True when any plotted point reaches ``m_opt >= 2``."""
+        return any(m >= 2.0 for m in self.hop_counts)
+
+
+def fig7_curves(
+    utilizations: tuple[float, ...] | None = None,
+) -> list[HopCountCurve]:
+    """Compute every line of Fig. 7.
+
+    The paper sweeps ``R/B`` from 0.1 to 0.5 for six (card, D) pairs.
+    """
+    if utilizations is None:
+        utilizations = tuple(round(0.1 + 0.05 * i, 2) for i in range(9))
+    curves = []
+    for card, distance in fig7_card_configs():
+        hop_counts = tuple(
+            optimal_hop_count(card, distance, u) for u in utilizations
+        )
+        curves.append(
+            HopCountCurve(
+                card=card,
+                distance=distance,
+                utilizations=utilizations,
+                hop_counts=hop_counts,
+            )
+        )
+    return curves

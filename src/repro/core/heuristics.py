@@ -1,0 +1,282 @@
+"""Centralized versions of the three heuristic approaches (§4).
+
+The simulator evaluates the three approaches as *protocols*; this module
+evaluates them as *algorithms* on a connectivity graph, which is how the
+paper frames the underlying network design problem.  Each heuristic takes
+the same inputs — a connectivity graph with ``distance`` edge attributes, a
+radio card and a demand list — and returns a :class:`NetworkDesign`: one
+route per demand plus the set of nodes that must stay active.
+
+* :class:`CommunicationFirstDesign` (§4.1): each demand routes along its
+  minimum transmission-power path (Eq. 10 or Eq. 11 cost); whoever ends up
+  on a route stays active.  Many short hops, many relays.
+* :class:`JointOptimizationDesign` (§4.2): demands are routed sequentially
+  with the Eq. 12 cost, where the idle penalty applies only to nodes not
+  yet recruited — a greedy buy-at-bulk.
+* :class:`IdlingFirstDesign` (§4.3): demands are routed to minimize newly
+  recruited relays (strongly favoring nodes already active, TITAN-style);
+  transmission power control then trims energy on the chosen links.
+
+Designs are evaluated with :class:`~repro.core.energy_model.RouteEnergyEvaluator`,
+so all three are compared under identical Eq. 4 accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import networkx as nx
+
+from repro.core.design_problem import Demand
+from repro.core.energy_model import FlowRoute, NetworkEnergy, RouteEnergyEvaluator
+from repro.core.radio import RadioModel
+
+
+@dataclass
+class NetworkDesign:
+    """Output of a design heuristic: routes plus the active (AM) node set."""
+
+    routes: dict[Demand, tuple[int, ...]]
+    active_nodes: set[int]
+
+    @property
+    def endpoints(self) -> set[int]:
+        return {
+            node for demand in self.routes for node in (demand.source, demand.destination)
+        }
+
+    @property
+    def relays(self) -> set[int]:
+        return self.active_nodes - self.endpoints
+
+    def flow_routes(self) -> list[FlowRoute]:
+        return [
+            FlowRoute(path=path, rate=demand.rate)
+            for demand, path in self.routes.items()
+        ]
+
+
+class DesignHeuristic:
+    """Base: inputs, route extraction helpers, evaluation."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        card: RadioModel,
+        demands: Sequence[Demand],
+    ) -> None:
+        for demand in demands:
+            if demand.source not in graph or demand.destination not in graph:
+                raise ValueError("demand %r endpoints missing" % (demand,))
+        if not demands:
+            raise ValueError("need at least one demand")
+        self.graph = graph
+        self.card = card
+        self.demands = list(demands)
+
+    # -- to implement --------------------------------------------------------
+    def design(self) -> NetworkDesign:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+    def _distance(self, u: int, v: int) -> float:
+        return float(self.graph.edges[u, v]["distance"])
+
+    def _route(self, demand: Demand, weight_fn) -> tuple[int, ...]:
+        path = nx.dijkstra_path(
+            self.graph,
+            demand.source,
+            demand.destination,
+            weight=lambda u, v, data: weight_fn(u, v, data),
+        )
+        return tuple(path)
+
+    def evaluate(
+        self,
+        design: NetworkDesign,
+        duration: float = 1.0,
+        packet_size_bits: float = 128 * 8,
+        scheduling: Literal["perfect", "odpm"] = "odpm",
+    ) -> NetworkEnergy:
+        """Eq. 4 energy of a design over ``duration`` seconds."""
+        positions = {
+            node: tuple(self.graph.nodes[node]["pos"]) for node in self.graph.nodes
+        }
+        evaluator = RouteEnergyEvaluator(
+            positions=positions, card=self.card, power_control=True
+        )
+        return evaluator.evaluate(
+            design.flow_routes(),
+            duration=duration,
+            packet_size_bits=packet_size_bits,
+            scheduling=scheduling,
+        )
+
+    def energy_goodput(
+        self,
+        design: NetworkDesign,
+        duration: float = 1.0,
+        scheduling: Literal["perfect", "odpm"] = "odpm",
+    ) -> float:
+        """Energy goodput (bit/J) of a design under Eq. 4 accounting."""
+        network = self.evaluate(design, duration=duration, scheduling=scheduling)
+        delivered = sum(d.rate * duration for d in self.demands)
+        return network.energy_goodput(delivered)
+
+
+class CommunicationFirstDesign(DesignHeuristic):
+    """§4.1: minimize transmission power first (centralized MTPR/MTPR+)."""
+
+    name = "communication-first"
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        card: RadioModel,
+        demands: Sequence[Demand],
+        include_fixed_costs: bool = False,
+    ) -> None:
+        super().__init__(graph, card, demands)
+        #: False = Eq. 10 (MTPR); True = Eq. 11 (MTPR+).
+        self.include_fixed_costs = include_fixed_costs
+
+    def design(self) -> NetworkDesign:
+        """Route every demand along its minimum transmit-power path."""
+        def weight(u: int, v: int, data: dict) -> float:
+            distance = float(data["distance"])
+            level = self.card.transmit_power_level(distance)
+            if self.include_fixed_costs:
+                return level + self.card.p_base + self.card.p_rx
+            # Strictly positive so Dijkstra prefers fewer hops on ties.
+            return level + 1e-12
+
+        routes = {demand: self._route(demand, weight) for demand in self.demands}
+        active = {node for path in routes.values() for node in path}
+        return NetworkDesign(routes=routes, active_nodes=active)
+
+
+class JointOptimizationDesign(DesignHeuristic):
+    """§4.2: greedy buy-at-bulk with the Eq. 12 joint cost."""
+
+    name = "joint-optimization"
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        card: RadioModel,
+        demands: Sequence[Demand],
+        use_rate: bool = True,
+    ) -> None:
+        super().__init__(graph, card, demands)
+        self.use_rate = use_rate
+
+    def design(self) -> NetworkDesign:
+        """Greedy sequential routing with the Eq. 12 joint cost."""
+        # Endpoints are always awake (Definition 1: c = 0 for them).
+        active: set[int] = {
+            node for d in self.demands for node in (d.source, d.destination)
+        }
+        routes: dict[Demand, tuple[int, ...]] = {}
+        # Largest demands first: they have the most to gain from good routes
+        # and leave behind the most useful backbone.
+        for demand in sorted(self.demands, key=lambda d: -d.rate):
+            utilization = 1.0
+            if self.use_rate:
+                utilization = min(1.0, demand.rate / self.card.bandwidth)
+
+            def weight(u: int, v: int, data: dict) -> float:
+                distance = float(data["distance"])
+                communication = (
+                    self.card.transmit_power(distance)
+                    + self.card.p_rx
+                    - 2.0 * self.card.p_idle
+                )
+                cost = max(0.0, communication) * utilization + 1e-12
+                if v not in active:
+                    cost += self.card.p_idle  # waking a sleeping relay
+                return cost
+
+            path = self._route(demand, weight)
+            routes[demand] = path
+            active.update(path)
+        # Only nodes actually used by a route stay active (the ODPM effect).
+        active = {node for path in routes.values() for node in path}
+        return NetworkDesign(routes=routes, active_nodes=active)
+
+
+class IdlingFirstDesign(DesignHeuristic):
+    """§4.3: recruit as few relays as possible, then power-control the links.
+
+    ``relay_penalty`` is the cost of waking a new relay relative to reusing
+    an active one; the default makes one new relay as expensive as a long
+    detour through the existing backbone, which is the TITAN trade-off.
+    """
+
+    name = "idling-first"
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        card: RadioModel,
+        demands: Sequence[Demand],
+        relay_penalty: float = 100.0,
+    ) -> None:
+        super().__init__(graph, card, demands)
+        if relay_penalty <= 0:
+            raise ValueError("relay penalty must be positive")
+        self.relay_penalty = relay_penalty
+
+    def design(self) -> NetworkDesign:
+        """Route demands so that as few new relays as possible wake up."""
+        active: set[int] = {
+            node for d in self.demands for node in (d.source, d.destination)
+        }
+        routes: dict[Demand, tuple[int, ...]] = {}
+        for demand in self.demands:
+
+            def weight(u: int, v: int, data: dict) -> float:
+                cost = 1.0  # hop count keeps routes short among equals
+                if v not in active:
+                    cost += self.relay_penalty
+                return cost
+
+            path = self._route(demand, weight)
+            routes[demand] = path
+            active.update(path)
+        active = {node for path in routes.values() for node in path}
+        return NetworkDesign(routes=routes, active_nodes=active)
+
+
+def compare_heuristics(
+    graph: nx.Graph,
+    card: RadioModel,
+    demands: Sequence[Demand],
+    duration: float = 1.0,
+    scheduling: Literal["perfect", "odpm"] = "odpm",
+) -> dict[str, dict[str, float]]:
+    """Run all three heuristics on the same instance.
+
+    Returns per-heuristic: relay count, Eq. 4 energy, and energy goodput —
+    the centralized analogue of the paper's §5.2 protocol comparison.
+    """
+    heuristics: list[DesignHeuristic] = [
+        CommunicationFirstDesign(graph, card, demands),
+        JointOptimizationDesign(graph, card, demands),
+        IdlingFirstDesign(graph, card, demands),
+    ]
+    report: dict[str, dict[str, float]] = {}
+    for heuristic in heuristics:
+        design = heuristic.design()
+        network = heuristic.evaluate(design, duration=duration, scheduling=scheduling)
+        delivered = sum(d.rate * duration for d in demands)
+        report[heuristic.name] = {
+            "relays": float(len(design.relays)),
+            "active_nodes": float(len(design.active_nodes)),
+            "e_network": network.e_network,
+            "energy_goodput": network.energy_goodput(delivered),
+            "transmit_energy": network.transmit_energy,
+        }
+    return report

@@ -1,0 +1,49 @@
+"""Experiment presets and runners for every figure and table of §5."""
+
+from repro.experiments.runner import (
+    FrozenRoutePoint,
+    frozen_route_goodput,
+    run_many,
+    run_single,
+    stabilize_routes,
+    sweep,
+)
+from repro.experiments.validation import (
+    CLAIMS,
+    Claim,
+    ClaimResult,
+    print_report,
+    validate,
+)
+from repro.experiments.scenarios import (
+    FIELD_PROTOCOLS,
+    GRID_PROTOCOLS,
+    HIGH_RATES_KBPS,
+    Scenario,
+    density_network,
+    grid_network,
+    large_network,
+    small_network,
+)
+
+__all__ = [
+    "CLAIMS",
+    "Claim",
+    "ClaimResult",
+    "FIELD_PROTOCOLS",
+    "FrozenRoutePoint",
+    "GRID_PROTOCOLS",
+    "HIGH_RATES_KBPS",
+    "Scenario",
+    "density_network",
+    "frozen_route_goodput",
+    "grid_network",
+    "large_network",
+    "print_report",
+    "run_many",
+    "run_single",
+    "small_network",
+    "stabilize_routes",
+    "sweep",
+    "validate",
+]

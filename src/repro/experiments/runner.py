@@ -1,0 +1,188 @@
+"""Experiment runners: protocol/rate sweeps and frozen-route evaluation.
+
+The runners turn a :class:`~repro.experiments.scenarios.Scenario` into the
+rows/series the paper's figures plot:
+
+* :func:`run_single` — one (protocol, rate, seed) simulation.
+* :func:`sweep` — full protocol x rate grid, aggregated over seeds with 95%
+  confidence intervals; this regenerates Figs. 8, 9, 11, 12, 14 and Table 2.
+* :func:`frozen_route_goodput` — the §5.2.3 procedure for Figs. 13–16:
+  simulate at 2 Kbit/s until routes stabilize, freeze them, then compute
+  ``E_network`` analytically for each (possibly much higher) rate under
+  perfect or ODPM sleep scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.energy_model import FlowRoute, RouteEnergyEvaluator
+from repro.metrics.collectors import AggregateResult, RunResult, aggregate_runs
+from repro.experiments.scenarios import Scenario
+from repro.sim.network import PROTOCOLS, WirelessNetwork
+
+
+def run_single(
+    scenario: Scenario, protocol: str, rate_kbps: float, seed: int
+) -> RunResult:
+    """Run one simulation and return its result."""
+    config = scenario.config(protocol, rate_kbps, seed)
+    return WirelessNetwork(config).run()
+
+
+def run_many(
+    scenario: Scenario, protocol: str, rate_kbps: float
+) -> AggregateResult:
+    """Run ``scenario.runs`` seeds of one configuration and aggregate."""
+    results = [
+        run_single(scenario, protocol, rate_kbps, seed)
+        for seed in range(1, scenario.runs + 1)
+    ]
+    return aggregate_runs(results)
+
+
+def sweep(
+    scenario: Scenario,
+    protocols: tuple[str, ...] | None = None,
+    rates_kbps: tuple[float, ...] | None = None,
+    verbose: bool = False,
+) -> dict[tuple[str, float], AggregateResult]:
+    """Full protocol x rate grid for a scenario.
+
+    Returns ``{(protocol, rate): AggregateResult}``; iterate rates in inner
+    order to print one figure line per protocol.
+    """
+    protocols = protocols or scenario.protocols
+    rates = rates_kbps or scenario.rates_kbps
+    grid: dict[tuple[str, float], AggregateResult] = {}
+    for protocol in protocols:
+        for rate in rates:
+            grid[(protocol, rate)] = run_many(scenario, protocol, rate)
+            if verbose:  # pragma: no cover - console convenience
+                agg = grid[(protocol, rate)]
+                print(
+                    "%-26s %4.1f Kbit/s  dr=%s  goodput=%s"
+                    % (protocol, rate, agg.delivery_ratio, agg.energy_goodput)
+                )
+    return grid
+
+
+@dataclass(frozen=True)
+class FrozenRoutePoint:
+    """One point of Figs. 13–16."""
+
+    protocol: str
+    rate_kbps: float
+    scheduling: str
+    energy_goodput: float
+    e_network: float
+    routes: tuple[tuple[int, ...], ...]
+
+
+def stabilize_routes(
+    scenario: Scenario,
+    protocol: str,
+    seed: int = 1,
+    probe_rate_kbps: float = 2.0,
+) -> tuple[WirelessNetwork, dict[int, tuple[int, ...]]]:
+    """Run the probe-rate simulation and extract the stabilized routes.
+
+    Implements the paper's §5.2.3 methodology: "we find the time when the
+    routes stabilize for the 2 Kbit/s and use these routes to calculate
+    E_network for higher rates".  Flows without a stable route fall back to
+    the shortest path in the connectivity graph (rare; start-up artifact).
+    """
+    network = WirelessNetwork(scenario.config(protocol, probe_rate_kbps, seed))
+    network.run()
+    routes = network.extract_routes()
+    if len(routes) < len(network.flow_stats):
+        import networkx as nx
+
+        from repro.net.topology import connectivity_graph
+
+        placement = scenario.placement(seed)
+        graph = connectivity_graph(placement, scenario.card.max_range)
+        for stats in network.flow_stats:
+            spec = stats.spec
+            if spec.flow_id not in routes:
+                path = nx.shortest_path(graph, spec.source, spec.destination)
+                routes[spec.flow_id] = tuple(path)
+    return network, routes
+
+
+def frozen_route_goodput(
+    scenario: Scenario,
+    protocol: str,
+    rates_kbps: tuple[float, ...],
+    scheduling: str,
+    seed: int = 1,
+    duration: float = 100.0,
+    probe_rate_kbps: float = 2.0,
+) -> list[FrozenRoutePoint]:
+    """Figs. 13–16: energy goodput at each rate over frozen routes.
+
+    ``scheduling`` is ``"perfect"`` (Figs. 13, 15) or ``"odpm"``
+    (Figs. 14, 16).  Power control follows the protocol preset (e.g. MTPR
+    transmits data at per-hop power, DSR-Active at maximum power).
+    """
+    network, routes = stabilize_routes(scenario, protocol, seed, probe_rate_kbps)
+    placement = scenario.placement(seed)
+    preset = PROTOCOLS[protocol]
+    evaluator = RouteEnergyEvaluator(
+        positions=placement.positions,
+        card=scenario.card,
+        power_control=preset.power_control,
+    )
+    flow_specs = {stats.spec.flow_id: stats.spec for stats in network.flow_stats}
+    points = []
+    for rate in rates_kbps:
+        flow_routes = [
+            FlowRoute(path=path, rate=rate * 1000.0)
+            for flow_id, path in sorted(routes.items())
+        ]
+        if protocol == "DSR-Active":
+            # No power saving at all: every node idles when not communicating,
+            # regardless of the scheduling strategy under study.
+            energy = _always_active_energy(evaluator, flow_routes, duration)
+        else:
+            energy = evaluator.evaluate(flow_routes, duration, scheduling=scheduling)
+        delivered = sum(fr.rate * duration for fr in flow_routes)
+        points.append(
+            FrozenRoutePoint(
+                protocol=protocol,
+                rate_kbps=rate,
+                scheduling=scheduling,
+                energy_goodput=energy.energy_goodput(delivered),
+                e_network=energy.e_network,
+                routes=tuple(sorted(routes.values())),
+            )
+        )
+    return points
+
+
+def _always_active_energy(
+    evaluator: RouteEnergyEvaluator, flow_routes, duration: float
+):
+    """E_network when no node ever sleeps (the DSR-Active baseline)."""
+    from repro.core.energy_model import NetworkEnergy
+    from repro.core.radio import RadioState
+
+    base = evaluator.evaluate(flow_routes, duration, scheduling="odpm")
+    network = NetworkEnergy()
+    for node_id in evaluator.positions:
+        network.add_node(node_id, evaluator.card)
+    for node_id, ledger in base.nodes.items():
+        target = network[node_id]
+        target.data_tx = ledger.data_tx
+        target.data_rx = ledger.data_rx
+        target.state_time[RadioState.TRANSMIT] = ledger.state_time[
+            RadioState.TRANSMIT
+        ]
+        target.state_time[RadioState.RECEIVE] = ledger.state_time[
+            RadioState.RECEIVE
+        ]
+        passive = (
+            ledger.state_time[RadioState.IDLE] + ledger.state_time[RadioState.SLEEP]
+        )
+        target.charge_idle(passive)
+    return network

@@ -1,0 +1,207 @@
+"""Scenario presets for every experiment in §5.2.
+
+Each preset mirrors one evaluation setup of the paper:
+
+* :func:`small_network` — Figs. 8–10: 50 nodes, 500x500 m^2, 10 CBR flows,
+  2–6 Kbit/s, 900 s, 5 runs, Cabletron card.
+* :func:`large_network` — Figs. 10–12: 200 nodes, 1300x1300 m^2, 20 flows,
+  600 s, 10 runs.
+* :func:`density_network` — Table 2: 300/400 nodes, same field, 4 Kbit/s.
+* :func:`grid_network` — Figs. 13–16: 49 nodes on a 7x7 grid in
+  300x300 m^2, 7 left-to-right flows, Hypothetical Cabletron card.
+
+Full paper scale is expensive in a pure-Python simulator, so every scenario
+carries a ``scale`` knob: ``paper`` uses the paper's durations and run
+counts; ``bench`` (the default for the benchmark suite) shortens runs while
+preserving every structural parameter — node count, field size, flow count,
+card, rates.  EXPERIMENTS.md records which scale produced which numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.core.radio import CABLETRON, HYPOTHETICAL_CABLETRON, RadioModel
+from repro.net.topology import (
+    Placement,
+    grid_placement,
+    uniform_random_placement,
+)
+from repro.sim.network import NetworkConfig
+from repro.traffic.flows import FlowSpec, grid_flows, random_flows
+
+#: Protocols plotted in Figs. 8, 9, 11, 12.
+FIELD_PROTOCOLS = (
+    "TITAN-PC",
+    "DSR-ODPM-PC",
+    "DSDVH-ODPM",
+    "DSRH-ODPM(norate)",
+    "DSRH-ODPM(rate)",
+    "DSR-ODPM",
+    "DSR-Active",
+)
+
+#: Protocols plotted in Figs. 13–16 (ODPM variants; the perfect-scheduling
+#: curves reuse the same presets with the analytic evaluator).
+GRID_PROTOCOLS = (
+    "TITAN-PC",
+    "DSRH-ODPM(norate)",
+    "MTPR-ODPM",
+    "MTPR+-ODPM",
+    "DSR-ODPM",
+    "DSR-Active",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A §5.2 experiment setup, reusable across protocols / rates / seeds."""
+
+    name: str
+    node_count: int
+    field_size: float
+    flow_count: int
+    rates_kbps: tuple[float, ...]
+    duration: float
+    runs: int
+    card: RadioModel = CABLETRON
+    grid: bool = False
+    start_window: tuple[float, float] = (20.0, 25.0)
+    protocols: tuple[str, ...] = FIELD_PROTOCOLS
+
+    def placement(self, seed: int) -> Placement:
+        """Placement for a given seed (grid scenarios ignore the seed)."""
+        if self.grid:
+            side = int(round(self.node_count**0.5))
+            if side * side != self.node_count:
+                raise ValueError("grid scenario needs a square node count")
+            return grid_placement(side, self.field_size, self.field_size)
+        rng = random.Random("placement/%s/%d" % (self.name, seed))
+        return uniform_random_placement(
+            self.node_count,
+            self.field_size,
+            self.field_size,
+            rng,
+            require_connected_range=self.card.max_range,
+        )
+
+    def flows(self, seed: int, rate_kbps: float) -> list[FlowSpec]:
+        """Flow list for one run: grid rows or random endpoint pairs."""
+        rng = random.Random("flows/%s/%d" % (self.name, seed))
+        if self.grid:
+            side = int(round(self.node_count**0.5))
+            return grid_flows(
+                side, rate_kbps * 1000, rng, start_window=self.start_window
+            )
+        placement = self.placement(seed)
+        return random_flows(
+            placement.node_ids,
+            self.flow_count,
+            rate_kbps * 1000,
+            rng,
+            start_window=self.start_window,
+        )
+
+    def config(self, protocol: str, rate_kbps: float, seed: int) -> NetworkConfig:
+        """Assemble the full NetworkConfig for one (protocol, rate, seed)."""
+        return NetworkConfig(
+            placement=self.placement(seed),
+            card=self.card,
+            protocol=protocol,
+            flows=self.flows(seed, rate_kbps),
+            duration=self.duration,
+            seed=seed,
+        )
+
+    def scaled(self, duration: float, runs: int) -> "Scenario":
+        return replace(self, duration=duration, runs=runs)
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+
+
+def small_network(scale: str = "bench") -> Scenario:
+    """Figs. 8–9 setup (and the 500x500 lines of Fig. 10)."""
+    scenario = Scenario(
+        name="small-network",
+        node_count=50,
+        field_size=500.0,
+        flow_count=10,
+        rates_kbps=(2.0, 3.0, 4.0, 5.0, 6.0),
+        duration=900.0,
+        runs=5,
+    )
+    return _apply_scale(scenario, scale, bench_duration=90.0, bench_runs=2)
+
+
+def large_network(scale: str = "bench") -> Scenario:
+    """Figs. 11–12 setup (and the 1300x1300 lines of Fig. 10)."""
+    scenario = Scenario(
+        name="large-network",
+        node_count=200,
+        field_size=1300.0,
+        flow_count=20,
+        rates_kbps=(2.0, 3.0, 4.0, 5.0, 6.0),
+        duration=600.0,
+        runs=10,
+    )
+    return _apply_scale(scenario, scale, bench_duration=60.0, bench_runs=1)
+
+
+def density_network(node_count: int, scale: str = "bench") -> Scenario:
+    """Table 2 setup: 300 or 400 nodes at 4 Kbit/s per flow."""
+    if node_count not in (300, 400):
+        raise ValueError("the paper evaluates 300 and 400 nodes")
+    scenario = Scenario(
+        name="density-%d" % node_count,
+        node_count=node_count,
+        field_size=1300.0,
+        flow_count=20,
+        rates_kbps=(4.0,),
+        duration=600.0,
+        runs=10,
+        protocols=("DSR-ODPM-PC", "TITAN-PC"),
+    )
+    return _apply_scale(scenario, scale, bench_duration=45.0, bench_runs=1)
+
+
+def grid_network(scale: str = "bench") -> Scenario:
+    """Figs. 13–16 setup: 7x7 grid, Hypothetical Cabletron card.
+
+    Only low rates are simulated directly; high-rate points are produced by
+    freezing routes discovered at 2 Kbit/s (the paper's procedure), see
+    :func:`repro.experiments.runner.frozen_route_goodput`.
+    """
+    scenario = Scenario(
+        name="grid-network",
+        node_count=49,
+        field_size=300.0,
+        flow_count=7,
+        rates_kbps=(2.0, 3.0, 4.0, 5.0),
+        duration=900.0,
+        runs=5,
+        card=HYPOTHETICAL_CABLETRON,
+        grid=True,
+        protocols=GRID_PROTOCOLS,
+    )
+    return _apply_scale(scenario, scale, bench_duration=80.0, bench_runs=2)
+
+
+#: High-rate sweep of Figs. 15–16, Kbit/s.
+HIGH_RATES_KBPS = (50.0, 100.0, 150.0, 200.0)
+
+
+def _apply_scale(
+    scenario: Scenario, scale: str, bench_duration: float, bench_runs: int
+) -> Scenario:
+    if scale == "paper":
+        return scenario
+    if scale == "bench":
+        return scenario.scaled(duration=bench_duration, runs=bench_runs)
+    if scale == "smoke":
+        return scenario.scaled(duration=30.0, runs=1)
+    raise ValueError("scale must be 'paper', 'bench' or 'smoke', got %r" % scale)

@@ -1,0 +1,212 @@
+"""Programmatic paper-claims checklist.
+
+Each claim of the paper that this library reproduces is encoded as a
+:class:`Claim` with a fast check function; :func:`validate` runs them all
+and reports PASS/FAIL.  This is the quick sanity layer between unit tests
+(milliseconds) and the full benchmark suite (minutes): `python -m repro
+validate` finishes in well under a minute and tells you whether the
+reproduction still stands.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.analytical import (
+    minimum_alpha2_for_relaying,
+    optimal_hop_count,
+)
+from repro.core.design_problem import SteinerForestExample, SteinerTreeExample
+from repro.core.radio import (
+    CABLETRON,
+    HYPOTHETICAL_CABLETRON,
+    fig7_card_configs,
+)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable statement from the paper."""
+
+    claim_id: str
+    section: str
+    statement: str
+    check: Callable[[], bool]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    passed: bool
+    seconds: float
+    error: str | None = None
+
+
+def _claim_no_real_card_relays() -> bool:
+    for card, distance in fig7_card_configs():
+        if card.name == "Hypothetical Cabletron":
+            continue
+        for utilization in (0.1, 0.2, 0.3, 0.4, 0.5):
+            if optimal_hop_count(card, distance, utilization) >= 2.0:
+                return False
+    return True
+
+
+def _claim_hypothetical_crosses() -> bool:
+    return optimal_hop_count(HYPOTHETICAL_CABLETRON, 250.0, 0.25) >= 2.0
+
+
+def _claim_alpha2_threshold() -> bool:
+    alpha2 = minimum_alpha2_for_relaying(CABLETRON, 250.0, 0.25)
+    return abs(alpha2 - 5.16e-9) / 5.16e-9 < 0.02
+
+
+def _claim_st_deviation() -> bool:
+    example = SteinerTreeExample(k=8)
+    expected = (8 + 3) / 4.0
+    communication_ratio = (
+        (example.st1_energy() - 1.0) / (example.st2_energy() - 1.0)
+    )
+    return abs(communication_ratio - expected) / expected < 1e-9
+
+
+def _claim_sf_ratio_bounded() -> bool:
+    return all(
+        SteinerForestExample(k=k).endpoint_inclusive_ratio() < 1.5
+        for k in (1, 10, 100, 1000)
+    )
+
+
+def _claim_fcc_limit() -> bool:
+    """The hypothetical card needs ~20 W at 250 m — far past the 1 W limit."""
+    return HYPOTHETICAL_CABLETRON.transmit_power(250.0) > 1.0
+
+
+def _simulate_small(protocol: str, seed: int = 3):
+    from repro import quick_run
+
+    return quick_run(protocol=protocol, node_count=25, flow_count=4,
+                     duration=40.0, seed=seed)
+
+
+def _claim_power_saving_beats_always_on() -> bool:
+    odpm = _simulate_small("DSR-ODPM")
+    active = _simulate_small("DSR-Active")
+    return odpm.energy_goodput > 1.5 * active.energy_goodput
+
+
+def _claim_joint_optimization_overhead() -> bool:
+    dsdvh = _simulate_small("DSDVH-ODPM")
+    titan = _simulate_small("TITAN-PC")
+    return (
+        dsdvh.control_packets > 2 * titan.control_packets
+        and dsdvh.energy_goodput < 0.8 * titan.energy_goodput
+    )
+
+
+def _claim_power_control_reduces_transmit_energy() -> bool:
+    pc = _simulate_small("DSR-ODPM-PC")
+    nopc = _simulate_small("DSR-ODPM")
+    return pc.transmit_energy < nopc.transmit_energy
+
+
+def _claim_titan_delivers() -> bool:
+    return _simulate_small("TITAN-PC").delivery_ratio > 0.9
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        "fig7-real-cards", "5.1",
+        "No real card reaches m_opt >= 2 at any utilization",
+        _claim_no_real_card_relays,
+    ),
+    Claim(
+        "fig7-hypothetical", "5.1",
+        "Hypothetical Cabletron reaches m_opt >= 2 at R/B = 0.25",
+        _claim_hypothetical_crosses,
+    ),
+    Claim(
+        "alpha2-threshold", "5.1",
+        "Relaying threshold alpha2 ~ 5.16e-6 mW/m^4 for Cabletron",
+        _claim_alpha2_threshold,
+    ),
+    Claim(
+        "fcc-limit", "5.1",
+        "The relaying-friendly card would violate the FCC 1 W limit",
+        _claim_fcc_limit,
+    ),
+    Claim(
+        "st-deviation", "3",
+        "ST1/ST2 communication costs deviate by (k+3)/4",
+        _claim_st_deviation,
+    ),
+    Claim(
+        "sf-ratio", "3",
+        "SF1/SF2 ratio with endpoint idling is bounded by 3/2",
+        _claim_sf_ratio_bounded,
+    ),
+    Claim(
+        "psm-beats-always-on", "5.2.1",
+        "Power saving raises energy goodput well above always-on",
+        _claim_power_saving_beats_always_on,
+    ),
+    Claim(
+        "dsdvh-overhead", "5.2.1",
+        "Proactive joint optimization pays heavy control overhead",
+        _claim_joint_optimization_overhead,
+    ),
+    Claim(
+        "pc-transmit-energy", "5.2.2",
+        "Power control reduces transmit energy",
+        _claim_power_control_reduces_transmit_energy,
+    ),
+    Claim(
+        "titan-delivery", "5.2",
+        "TITAN-PC maintains high delivery ratio",
+        _claim_titan_delivers,
+    ),
+)
+
+
+def validate(claims: tuple[Claim, ...] = CLAIMS) -> list[ClaimResult]:
+    """Run every claim check; never raises (failures are results)."""
+    results = []
+    for claim in claims:
+        started = time.perf_counter()
+        try:
+            passed = bool(claim.check())
+            error = None
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            passed = False
+            error = "%s: %s" % (type(exc).__name__, exc)
+        results.append(
+            ClaimResult(
+                claim=claim,
+                passed=passed,
+                seconds=time.perf_counter() - started,
+                error=error,
+            )
+        )
+    return results
+
+
+def print_report(results: list[ClaimResult]) -> bool:
+    """Print a PASS/FAIL table; returns overall success."""
+    print("%-22s %-7s %-6s  %s" % ("claim", "section", "result", "statement"))
+    print("-" * 100)
+    ok = True
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        ok &= result.passed
+        line = "%-22s %-7s %-6s  %s (%.1fs)" % (
+            result.claim.claim_id, result.claim.section, status,
+            result.claim.statement, result.seconds,
+        )
+        print(line)
+        if result.error:
+            print("    error: %s" % result.error)
+    print("-" * 100)
+    print("overall: %s" % ("PASS" if ok else "FAIL"))
+    return ok

@@ -1,0 +1,29 @@
+"""Metrics: per-run results, cross-run statistics, lifetime, plotting."""
+
+from repro.metrics.collectors import RunResult, aggregate_runs
+from repro.metrics.lifetime import (
+    DEFAULT_BATTERY_JOULES,
+    LifetimeReport,
+    lifetime_from_design,
+    lifetime_from_energy,
+    lifetime_from_run,
+    steady_state_power,
+)
+from repro.metrics.plotting import AsciiPlot, figure_from_sweep
+from repro.metrics.stats import ConfidenceInterval, mean_ci, summarize
+
+__all__ = [
+    "AsciiPlot",
+    "ConfidenceInterval",
+    "DEFAULT_BATTERY_JOULES",
+    "LifetimeReport",
+    "RunResult",
+    "aggregate_runs",
+    "figure_from_sweep",
+    "lifetime_from_design",
+    "lifetime_from_energy",
+    "lifetime_from_run",
+    "mean_ci",
+    "steady_state_power",
+    "summarize",
+]

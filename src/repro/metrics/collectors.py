@@ -1,0 +1,122 @@
+"""Per-run result records and cross-run aggregation.
+
+A :class:`RunResult` captures everything a single simulation produced:
+flow counters, the network energy breakdown, and protocol overhead counts.
+:func:`aggregate_runs` folds several runs (different seeds) into the
+mean ± 95%-CI records the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.energy_model import NetworkEnergy
+from repro.metrics.stats import ConfidenceInterval, mean_ci
+
+if TYPE_CHECKING:  # pragma: no cover - break the metrics <-> traffic cycle
+    from repro.traffic.cbr import FlowStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    protocol: str
+    seed: int
+    duration: float
+    flows: list[FlowStats]
+    energy_summary: dict[str, float]
+    control_packets: int = 0
+    relays_used: int = 0
+    events_processed: int = 0
+
+    @property
+    def packets_sent(self) -> int:
+        return sum(f.sent for f in self.flows)
+
+    @property
+    def packets_received(self) -> int:
+        return sum(f.received for f in self.flows)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Received over sent data packets, across all flows (§5.2)."""
+        sent = self.packets_sent
+        if sent == 0:
+            return 0.0
+        return min(1.0, self.packets_received / sent)
+
+    @property
+    def delivered_bits(self) -> float:
+        return sum(f.delivered_bits for f in self.flows)
+
+    @property
+    def e_network(self) -> float:
+        return self.energy_summary["e_network"]
+
+    @property
+    def energy_goodput(self) -> float:
+        """Delivered application bits per joule (§5.2)."""
+        if self.e_network <= 0:
+            return 0.0
+        return self.delivered_bits / self.e_network
+
+    @property
+    def transmit_energy(self) -> float:
+        """Total transmit-state energy in joules (Fig. 10's metric)."""
+        return self.energy_summary["transmit_energy"]
+
+    @classmethod
+    def from_components(
+        cls,
+        protocol: str,
+        seed: int,
+        duration: float,
+        flows: list[FlowStats],
+        energy: NetworkEnergy,
+        control_packets: int = 0,
+        relays_used: int = 0,
+        events_processed: int = 0,
+    ) -> "RunResult":
+        return cls(
+            protocol=protocol,
+            seed=seed,
+            duration=duration,
+            flows=flows,
+            energy_summary=energy.summary(),
+            control_packets=control_packets,
+            relays_used=relays_used,
+            events_processed=events_processed,
+        )
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean ± CI over runs for the paper's plotted metrics."""
+
+    protocol: str
+    runs: int
+    delivery_ratio: ConfidenceInterval
+    energy_goodput: ConfidenceInterval
+    transmit_energy: ConfidenceInterval
+    e_network: ConfidenceInterval
+    control_packets: ConfidenceInterval
+
+
+def aggregate_runs(results: Sequence[RunResult]) -> AggregateResult:
+    """Aggregate same-configuration runs into mean ± 95% CI."""
+    if not results:
+        raise ValueError("need at least one run")
+    protocols = {r.protocol for r in results}
+    if len(protocols) != 1:
+        raise ValueError("cannot aggregate across protocols: %s" % protocols)
+    return AggregateResult(
+        protocol=results[0].protocol,
+        runs=len(results),
+        delivery_ratio=mean_ci([r.delivery_ratio for r in results]),
+        energy_goodput=mean_ci([r.energy_goodput for r in results]),
+        transmit_energy=mean_ci([r.transmit_energy for r in results]),
+        e_network=mean_ci([r.e_network for r in results]),
+        control_packets=mean_ci([float(r.control_packets) for r in results]),
+    )

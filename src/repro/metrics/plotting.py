@@ -1,0 +1,138 @@
+"""Terminal (ASCII) line plots for regenerating the paper's figures.
+
+The paper's evaluation figures are line charts — metric vs offered rate,
+one series per protocol.  This renderer draws them in a terminal so the
+benchmark suite can reproduce *figures*, not just tables, without any
+plotting dependency.
+
+Usage::
+
+    plot = AsciiPlot(title="Fig. 9", xlabel="Rate (Kbit/s)",
+                     ylabel="Energy goodput (bit/J)")
+    plot.add_series("TITAN-PC", xs, ys)
+    print(plot.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Marker cycle for distinguishing series.
+MARKERS = "*+ox#@%&"
+
+
+@dataclass
+class _Series:
+    label: str
+    xs: list[float]
+    ys: list[float]
+    marker: str
+
+
+@dataclass
+class AsciiPlot:
+    """A minimal multi-series scatter/line plot rendered with characters."""
+
+    title: str = ""
+    xlabel: str = ""
+    ylabel: str = ""
+    width: int = 64
+    height: int = 18
+    series: list[_Series] = field(default_factory=list)
+
+    def add_series(self, label: str, xs, ys) -> None:
+        """Add one labelled line; x/y sequences must be equal length."""
+        xs, ys = list(xs), list(ys)
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        if not xs:
+            raise ValueError("series needs at least one point")
+        marker = MARKERS[len(self.series) % len(MARKERS)]
+        self.series.append(_Series(label, xs, ys, marker))
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for s in self.series for x in s.xs]
+        ys = [y for s in self.series for y in s.ys]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+        # Pad the y range so extremes don't sit on the frame.
+        pad = 0.05 * (y_max - y_min)
+        return x_min, x_max, y_min - pad, y_max + pad
+
+    def render(self) -> str:
+        """Draw the plot into a string."""
+        if not self.series:
+            raise ValueError("nothing to plot")
+        x_min, x_max, y_min, y_max = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x: float, y: float, marker: str) -> None:
+            col = round((x - x_min) / (x_max - x_min) * (self.width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (self.height - 1))
+            grid[self.height - 1 - row][col] = marker
+
+        for series in self.series:
+            points = sorted(zip(series.xs, series.ys))
+            # Interpolated segments make trends readable.
+            for (x1, y1), (x2, y2) in zip(points, points[1:]):
+                steps = max(
+                    2,
+                    round((x2 - x1) / (x_max - x_min) * self.width),
+                )
+                for step in range(steps + 1):
+                    t = step / steps
+                    place(x1 + t * (x2 - x1), y1 + t * (y2 - y1), ".")
+            for x, y in points:
+                place(x, y, series.marker)
+
+        lines = []
+        if self.title:
+            lines.append(self.title.center(self.width + 10))
+        y_top = "%.3g" % y_max
+        y_bottom = "%.3g" % y_min
+        label_width = max(len(y_top), len(y_bottom), 6)
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = y_top.rjust(label_width)
+            elif row_index == self.height - 1:
+                label = y_bottom.rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append("%s |%s" % (label, "".join(row)))
+        lines.append(" " * label_width + " +" + "-" * self.width)
+        x_left = "%.3g" % x_min
+        x_right = "%.3g" % x_max
+        gap = self.width - len(x_left) - len(x_right)
+        lines.append(
+            " " * (label_width + 2) + x_left + " " * max(gap, 1) + x_right
+        )
+        if self.xlabel:
+            lines.append((" " * (label_width + 2))
+                         + self.xlabel.center(self.width))
+        legend = "   ".join(
+            "%s %s" % (s.marker, s.label) for s in self.series
+        )
+        lines.append("")
+        lines.append("  legend: " + legend)
+        if self.ylabel:
+            lines.insert(1 if self.title else 0, "  y: " + self.ylabel)
+        return "\n".join(lines)
+
+
+def figure_from_sweep(
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    rates: list[float],
+    series: dict[str, list[float]],
+) -> str:
+    """Convenience: render one paper figure from sweep results."""
+    plot = AsciiPlot(title=title, xlabel=xlabel, ylabel=ylabel)
+    for label, values in series.items():
+        plot.add_series(label, rates, values)
+    return plot.render()

@@ -1,0 +1,82 @@
+"""Cross-run statistics: means with 95% confidence intervals.
+
+Every graph in the paper "depicts an average of 5 [or 10] runs and 95%
+confidence intervals"; this module computes exactly that, using Student's
+t-distribution for the small sample counts involved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A sample mean with its two-sided confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float = 0.95
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """True when the two intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%.3f ± %.3f" % (self.mean, self.half_width)
+
+
+def mean_ci(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Mean and t-based confidence half-width of a sample.
+
+    A single sample yields a zero-width interval (no variance estimate),
+    matching how single-run results are reported.
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, n=1, confidence=confidence)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_value = float(scipy_stats.t.ppf((1 + confidence) / 2, df=n - 1))
+    return ConfidenceInterval(
+        mean=mean, half_width=t_value * sem, n=n, confidence=confidence
+    )
+
+
+def summarize(samples: Sequence[float]) -> dict[str, float]:
+    """Mean, min, max and standard deviation of a sample."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n > 1:
+        std = math.sqrt(sum((x - mean) ** 2 for x in samples) / (n - 1))
+    else:
+        std = 0.0
+    return {
+        "mean": mean,
+        "std": std,
+        "min": min(samples),
+        "max": max(samples),
+        "n": float(n),
+    }

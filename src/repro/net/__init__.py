@@ -1,0 +1,35 @@
+"""Graph-level substrate: placements, connectivity, Steiner algorithms, MPC."""
+
+from repro.net.mpc import (
+    MpcResult,
+    bounded_alpha,
+    mpc_multi_commodity,
+    mpc_single_sink,
+)
+from repro.net.steiner import (
+    kmb_steiner_tree,
+    node_weighted_steiner_tree,
+    steiner_forest,
+    tree_cost,
+)
+from repro.net.topology import (
+    Placement,
+    connectivity_graph,
+    grid_placement,
+    uniform_random_placement,
+)
+
+__all__ = [
+    "MpcResult",
+    "Placement",
+    "bounded_alpha",
+    "connectivity_graph",
+    "grid_placement",
+    "kmb_steiner_tree",
+    "mpc_multi_commodity",
+    "mpc_single_sink",
+    "node_weighted_steiner_tree",
+    "steiner_forest",
+    "tree_cost",
+    "uniform_random_placement",
+]

@@ -1,0 +1,20 @@
+"""Power-management protocols: AM/PSM mode control (§2.2, §4).
+
+A power manager decides, per node, whether the wireless interface is in
+active mode (AM) or power-save mode (PSM).  The PSM scheduler then turns PSM
+membership into concrete sleep/wake behaviour.
+"""
+
+from repro.power.manager import PowerManager
+from repro.power.always_on import AlwaysActive, AlwaysPsm
+from repro.power.odpm import Odpm, OdpmConfig
+from repro.power.span import SpanCoordinator
+
+__all__ = [
+    "PowerManager",
+    "AlwaysActive",
+    "AlwaysPsm",
+    "Odpm",
+    "OdpmConfig",
+    "SpanCoordinator",
+]

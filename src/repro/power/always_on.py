@@ -1,0 +1,26 @@
+"""Trivial power managers: permanently active or permanently power-saving.
+
+``AlwaysActive`` models the paper's DSR-Active baseline, in which no node
+ever sleeps; ``AlwaysPsm`` models unconditional IEEE 802.11 PSM, in which
+every node keeps the power-save duty cycle regardless of traffic (useful for
+ablations and for the pure-PSM baseline the paper cites from [25]).
+"""
+
+from __future__ import annotations
+
+from repro.core.radio import PowerMode
+from repro.power.manager import PowerManager
+
+
+class AlwaysActive(PowerManager):
+    """Every node stays in active mode forever (no idling savings)."""
+
+    def initial_mode(self) -> PowerMode:
+        return PowerMode.ACTIVE
+
+
+class AlwaysPsm(PowerManager):
+    """Every node stays in power-save mode forever (maximal sleeping)."""
+
+    def initial_mode(self) -> PowerMode:
+        return PowerMode.POWER_SAVE

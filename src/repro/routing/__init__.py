@@ -1,0 +1,57 @@
+"""Routing protocols: the three heuristic approaches plus baselines (§4).
+
+* Approach 1 (communication first): :class:`Mtpr`, :class:`MtprPlus`.
+* Approach 2 (joint): :class:`DsrhRate`, :class:`DsrhNoRate`, :class:`Dsdvh`.
+* Approach 3 (idling first): :class:`Dsr` (+ ODPM + PC), :class:`Titan`.
+* Baselines: :class:`Dsr` with ODPM or always-active, :class:`Dsdv`.
+"""
+
+from repro.routing.base import (
+    CachedRoute,
+    NodeContext,
+    RouteCache,
+    RoutingProtocol,
+    RoutingStats,
+    SendBuffer,
+)
+from repro.routing.costs import (
+    HopCount,
+    JointCost,
+    LinkCost,
+    MtprCost,
+    MtprPlusCost,
+    route_cost,
+)
+from repro.routing.dsr import Dsr
+from repro.routing.dsrh import DsrhNoRate, DsrhRate
+from repro.routing.dsdv import Dsdv
+from repro.routing.dsdvh import Dsdvh
+from repro.routing.mtpr import Mtpr, MtprPlus
+from repro.routing.proactive import ProactiveProtocol
+from repro.routing.reactive import ReactiveProtocol
+from repro.routing.titan import Titan
+
+__all__ = [
+    "CachedRoute",
+    "Dsdv",
+    "Dsdvh",
+    "Dsr",
+    "DsrhNoRate",
+    "DsrhRate",
+    "HopCount",
+    "JointCost",
+    "LinkCost",
+    "Mtpr",
+    "MtprCost",
+    "MtprPlus",
+    "MtprPlusCost",
+    "NodeContext",
+    "ProactiveProtocol",
+    "ReactiveProtocol",
+    "RouteCache",
+    "RoutingProtocol",
+    "RoutingStats",
+    "SendBuffer",
+    "Titan",
+    "route_cost",
+]

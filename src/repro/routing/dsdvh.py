@@ -1,0 +1,36 @@
+"""DSDVH: proactive joint optimization of communication and idling (§4.2).
+
+DSDV with the joint cost ``h(u, v)`` of Eq. 12 as the distance metric.  Each
+node tracks the power-management state of its neighbors (carried in every
+update) and the transmit power needed to reach them; a route update is
+triggered whenever link quality or a node's power-management state changes.
+Unlike MPC [24], no update is needed when flow rates change — the rate
+rides in packet headers, not in the tables — so this implementation follows
+the paper's improvement over MPC's table structure (which is also why the
+paper does not evaluate MPC itself).
+
+The cost of this design is visible in Figs. 8–9 and 11–12: every ODPM mode
+flip anywhere near a route triggers broadcast updates, and under IEEE
+802.11 PSM every broadcast keeps all neighbors awake for a full beacon
+interval.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import NodeContext
+from repro.routing.costs import JointCost
+from repro.routing.proactive import ProactiveProtocol
+
+
+class Dsdvh(ProactiveProtocol):
+    """DSDV with the Eq. 12 joint metric and mode-change-triggered updates."""
+
+    name = "DSDVH"
+
+    def __init__(self, node: NodeContext, update_interval: float = 15.0) -> None:
+        super().__init__(
+            node,
+            cost=JointCost(node.card, use_rate=False),
+            update_interval=update_interval,
+            trigger_on_mode_change=True,
+        )

@@ -1,0 +1,46 @@
+"""DSRH: reactive joint optimization of communication and idling energy (§4.2).
+
+Route requests accumulate the joint cost ``h(u, v, r)`` of Eq. 12: the
+marginal communication power of the link, scaled by the flow's bandwidth
+utilization, plus an idle-power penalty for recruiting a relay that is
+currently in power-save mode.  Two variants match the paper's evaluation:
+
+* ``DsrhRate`` — the source advertises the flow rate in route requests and
+  packet headers, so ``r/B`` is exact.
+* ``DsrhNoRate`` — rate information unavailable; ``r/B`` treated as 1,
+  overweighting communication cost relative to idling cost.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import NodeContext
+from repro.routing.costs import JointCost
+from repro.routing.reactive import ReactiveProtocol
+
+
+class DsrhRate(ReactiveProtocol):
+    """Joint-cost reactive routing with rate information (Eq. 12, exact r/B)."""
+
+    name = "DSRH(rate)"
+
+    def __init__(self, node: NodeContext, cache_timeout: float = 300.0) -> None:
+        super().__init__(
+            node,
+            cost=JointCost(node.card, use_rate=True),
+            include_rate=True,
+            cache_timeout=cache_timeout,
+        )
+
+
+class DsrhNoRate(ReactiveProtocol):
+    """Joint-cost reactive routing without rate information (r/B = 1)."""
+
+    name = "DSRH(norate)"
+
+    def __init__(self, node: NodeContext, cache_timeout: float = 300.0) -> None:
+        super().__init__(
+            node,
+            cost=JointCost(node.card, use_rate=False),
+            include_rate=False,
+            cache_timeout=cache_timeout,
+        )

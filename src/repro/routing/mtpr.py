@@ -1,0 +1,40 @@
+"""MTPR and MTPR+: minimize communication energy first (§4.1).
+
+MTPR (Minimum Transmission Power Routing, Singh et al. [23]) accumulates the
+transmit power level ``P_t(u, v)`` (Eq. 10) in route requests, so routes with
+many short hops beat routes with few long hops.  MTPR+ (Eq. 11) adds the
+fixed per-hop costs ``P_base + P_rx``, acknowledging that every extra relay
+also pays a base transmitter and a receiver cost.
+
+Both are implemented reactively, like DSR: the route cost rides in route
+requests, nodes rebroadcast a request whenever a cheaper copy arrives, and
+the destination answers every improvement (§4.1).  The transmit power level
+for the incoming link is known at RREQ reception, standing in for the
+paper's RTS/CTS-based measurement.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import NodeContext
+from repro.routing.costs import MtprCost, MtprPlusCost
+from repro.routing.reactive import ReactiveProtocol
+
+
+class Mtpr(ReactiveProtocol):
+    """Eq. 10: route cost is the sum of transmit power levels."""
+
+    name = "MTPR"
+
+    def __init__(self, node: NodeContext, cache_timeout: float = 300.0) -> None:
+        super().__init__(node, cost=MtprCost(node.card), cache_timeout=cache_timeout)
+
+
+class MtprPlus(ReactiveProtocol):
+    """Eq. 11: Eq. 10 plus fixed transmit and receive costs per hop."""
+
+    name = "MTPR+"
+
+    def __init__(self, node: NodeContext, cache_timeout: float = 300.0) -> None:
+        super().__init__(
+            node, cost=MtprPlusCost(node.card), cache_timeout=cache_timeout
+        )

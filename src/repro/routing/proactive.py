@@ -1,0 +1,278 @@
+"""Proactive (table-driven) routing: the DSDV family (§4.2).
+
+DSDV (Perkins & Bhagwat [20]) maintains a route to every destination via
+sequence-numbered distance-vector updates: periodic full dumps plus triggered
+incremental updates on route changes.  DSDVH is the paper's proactive joint
+optimization: the distance metric is the joint cost ``h(u, v)`` of Eq. 12,
+and — crucially — a *triggered update fires whenever a node's
+power-management state changes*, because that changes the cost of every
+route through the node.  Under IEEE 802.11 PSM each broadcast update keeps
+all neighbors awake for a full beacon interval, which is exactly the
+overhead that makes DSDVH-ODPM as expensive as an always-on network in
+Fig. 9.
+
+Data is forwarded hop-by-hop by table lookup (no source routes).  Packets
+with no route yet are buffered briefly (DSDV's settling delay at flow start)
+and dropped if no route forms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.radio import PowerMode
+from repro.routing.base import NodeContext, RoutingProtocol, SendBuffer
+from repro.routing.costs import HopCount, LinkCost
+from repro.sim.engine import Timer
+from repro.sim.packet import BROADCAST, Packet, PacketKind
+
+UPDATE_INTERVAL = 15.0
+UPDATE_JITTER = 0.1
+TRIGGERED_MIN_GAP = 1.0
+ENTRY_BYTES = 12
+UPDATE_BASE_BYTES = 28
+#: Routes not refreshed for this many update intervals are stale.
+ROUTE_LIFETIME_INTERVALS = 3
+INFINITE_METRIC = math.inf
+
+
+@dataclass(frozen=True)
+class UpdateEntry:
+    """One advertised destination: metric and destination sequence number."""
+
+    destination: int
+    metric: float
+    seqno: int
+
+
+@dataclass(frozen=True)
+class DsdvUpdate:
+    """A broadcast routing update."""
+
+    sender: int
+    sender_mode: PowerMode
+    entries: tuple[UpdateEntry, ...]
+    full_dump: bool
+
+    def size_bytes(self) -> int:
+        return UPDATE_BASE_BYTES + ENTRY_BYTES * len(self.entries)
+
+
+@dataclass
+class _TableEntry:
+    next_hop: int
+    metric: float
+    seqno: int
+    updated_at: float
+
+
+class ProactiveProtocol(RoutingProtocol):
+    """Shared DSDV machinery with a pluggable link metric."""
+
+    name = "proactive"
+
+    def __init__(
+        self,
+        node: NodeContext,
+        cost: LinkCost | None = None,
+        update_interval: float = UPDATE_INTERVAL,
+        trigger_on_mode_change: bool = False,
+    ) -> None:
+        super().__init__(node)
+        if update_interval <= 0:
+            raise ValueError("update interval must be positive")
+        self.cost = cost or HopCount()
+        self.update_interval = update_interval
+        self.trigger_on_mode_change = trigger_on_mode_change
+        self.table: dict[int, _TableEntry] = {}
+        self.buffer = SendBuffer()
+        self._own_seqno = 0
+        self._last_triggered = -math.inf
+        self._trigger_pending = False
+        self._rng = node.sim.rng("dsdv-%d" % node.node_id)
+        #: Upcall installed on the power manager when trigger_on_mode_change.
+        self.triggered_updates = 0
+        self.periodic_updates = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic full dumps, desynchronized across nodes."""
+        initial_delay = self._rng.uniform(0.0, self.update_interval)
+        self.sim.schedule(initial_delay, self._periodic_update)
+
+    def _periodic_update(self) -> None:
+        self._own_seqno += 2  # destinations advertise even sequence numbers
+        self.periodic_updates += 1
+        self._broadcast_update(full_dump=True)
+        self.sim.schedule(
+            self.update_interval + self._rng.uniform(-UPDATE_JITTER, UPDATE_JITTER),
+            self._periodic_update,
+        )
+
+    def on_power_mode_change(self) -> None:
+        """DSDVH hook: our mode changed, so costs through us changed."""
+        if self.trigger_on_mode_change:
+            self._schedule_triggered_update()
+
+    def _schedule_triggered_update(self) -> None:
+        if self._trigger_pending:
+            return
+        gap = self.sim.now - self._last_triggered
+        delay = max(0.0, TRIGGERED_MIN_GAP - gap)
+        self._trigger_pending = True
+
+        def _fire() -> None:
+            self._trigger_pending = False
+            self._last_triggered = self.sim.now
+            self.triggered_updates += 1
+            self._broadcast_update(full_dump=False)
+
+        self.sim.schedule(delay, _fire)
+
+    def _broadcast_update(self, full_dump: bool) -> None:
+        entries = [UpdateEntry(self.node.node_id, 0.0, self._own_seqno)]
+        now = self.sim.now
+        lifetime = ROUTE_LIFETIME_INTERVALS * self.update_interval
+        for destination, entry in self.table.items():
+            if now - entry.updated_at > lifetime:
+                continue
+            entries.append(UpdateEntry(destination, entry.metric, entry.seqno))
+        update = DsdvUpdate(
+            sender=self.node.node_id,
+            sender_mode=self.node.power.mode,
+            entries=tuple(entries),
+            full_dump=full_dump,
+        )
+        frame = Packet(
+            kind=PacketKind.ROUTING,
+            src=self.node.node_id,
+            dst=BROADCAST,
+            size_bytes=update.size_bytes(),
+            payload=update,
+            created_at=now,
+        )
+        self.stats.updates_sent += 1
+        self.stats.control_packets += 1
+        self.node.mac.send(frame)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def originate_data(self, packet: Packet) -> None:
+        assert packet.final_dst is not None
+        self.stats.data_originated += 1
+        self.node.power.notify_data_activity()
+        self._forward(packet, originating=True)
+
+    def _forward(self, packet: Packet, originating: bool = False) -> None:
+        assert packet.final_dst is not None
+        entry = self.table.get(packet.final_dst)
+        if entry is None or math.isinf(entry.metric):
+            if originating:
+                self.buffer.push(packet.final_dst, packet)
+            else:
+                self.stats.data_dropped_no_route += 1
+            return
+        frame = packet.copy_for_hop(self.node.node_id, entry.next_hop)
+        frame.payload = None
+        self.node.mac.send(frame, self.data_tx_distance(entry.next_hop))
+
+    def on_frame(self, packet: Packet) -> None:
+        """Dispatch a delivered frame: data forwarding or update processing."""
+        if packet.kind is PacketKind.DATA:
+            self.node.power.notify_data_activity()
+            if packet.final_dst == self.node.node_id:
+                self.stats.data_delivered += 1
+                self.node.deliver_to_app(packet)
+                return
+            self.stats.data_forwarded += 1
+            self._forward(packet)
+            return
+        if packet.kind is PacketKind.ROUTING and isinstance(
+            packet.payload, DsdvUpdate
+        ):
+            self._on_update(packet.payload)
+
+    # ------------------------------------------------------------------
+    # Distance-vector processing
+    # ------------------------------------------------------------------
+    def _on_update(self, update: DsdvUpdate) -> None:
+        me = self.node.node_id
+        sender = update.sender
+        link_cost = self.cost(
+            self.link_distance(sender), update.sender_mode, None
+        )
+        changed = False
+        for advertised in update.entries:
+            destination = advertised.destination
+            if destination == me:
+                continue
+            metric = (
+                advertised.metric + link_cost
+                if not math.isinf(advertised.metric)
+                else INFINITE_METRIC
+            )
+            current = self.table.get(destination)
+            adopt = False
+            if current is None:
+                adopt = not math.isinf(metric)
+            elif advertised.seqno > current.seqno:
+                adopt = True
+            elif advertised.seqno == current.seqno and metric < current.metric:
+                adopt = True
+            elif current.next_hop == sender and metric != current.metric:
+                # Metric through our own next hop changed; track it.
+                adopt = True
+            if adopt:
+                self.table[destination] = _TableEntry(
+                    next_hop=sender,
+                    metric=metric,
+                    seqno=advertised.seqno,
+                    updated_at=self.sim.now,
+                )
+                changed = True
+                self._drain_buffer(destination)
+        if changed and self.trigger_on_mode_change:
+            # DSDVH propagates cost changes; plain DSDV waits for the
+            # periodic dump (full DSDV would also trigger on new seqno,
+            # which we fold into the periodic cycle to bound overhead).
+            self._schedule_triggered_update()
+
+    def _drain_buffer(self, destination: int) -> None:
+        entry = self.table.get(destination)
+        if entry is None or math.isinf(entry.metric):
+            return
+        for packet in self.buffer.pop_all(destination):
+            frame = packet.copy_for_hop(self.node.node_id, entry.next_hop)
+            frame.payload = None
+            self.node.mac.send(frame, self.data_tx_distance(entry.next_hop))
+
+    # ------------------------------------------------------------------
+    def on_link_failure(self, next_hop: int, packet: Packet) -> None:
+        """Poison every route through the failed next hop (odd seqno)."""
+        changed = False
+        for destination, entry in self.table.items():
+            if entry.next_hop == next_hop and not math.isinf(entry.metric):
+                self.table[destination] = _TableEntry(
+                    next_hop=next_hop,
+                    metric=INFINITE_METRIC,
+                    seqno=entry.seqno + 1,  # odd: broken-route sequence number
+                    updated_at=self.sim.now,
+                )
+                changed = True
+        if packet.kind is PacketKind.DATA:
+            self.stats.data_dropped_link_failure += 1
+        if changed:
+            self._schedule_triggered_update()
+
+    # ------------------------------------------------------------------
+    def route_to(self, destination: int) -> tuple[int, float] | None:
+        """(next_hop, metric) for a destination, or None."""
+        entry = self.table.get(destination)
+        if entry is None or math.isinf(entry.metric):
+            return None
+        return entry.next_hop, entry.metric

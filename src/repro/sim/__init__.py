@@ -1,0 +1,47 @@
+"""Discrete-event wireless network simulator (the ns-2 substitute)."""
+
+from repro.sim.channel import Channel
+from repro.sim.engine import EventHandle, SimulationError, Simulator, Timer
+from repro.sim.mac import Mac, MacStats
+from repro.sim.network import (
+    NetworkConfig,
+    PROTOCOLS,
+    ProtocolPreset,
+    WirelessNetwork,
+)
+from repro.sim.node import Node
+from repro.sim.packet import (
+    BROADCAST,
+    Packet,
+    PacketKind,
+    make_control_packet,
+    make_data_packet,
+)
+from repro.sim.phy import Phy
+from repro.sim.psm import NoPsm, PsmScheduler
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "BROADCAST",
+    "Channel",
+    "EventHandle",
+    "Mac",
+    "MacStats",
+    "NetworkConfig",
+    "NoPsm",
+    "Node",
+    "PROTOCOLS",
+    "Packet",
+    "PacketKind",
+    "Phy",
+    "ProtocolPreset",
+    "PsmScheduler",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+    "WirelessNetwork",
+    "make_control_packet",
+    "make_data_packet",
+]

@@ -1,0 +1,133 @@
+"""Wireless channel: geometry, path loss and frame propagation.
+
+The channel knows every node's position and nominal transmission range and
+delivers frames to all nodes within the *reach* of a transmission — the
+distance covered by the chosen transmit power level under the ``1/d^n``
+path-loss model.  Control packets go out at maximum power (full nominal
+range); power-controlled data transmissions reach exactly their target
+distance (the paper assumes infinitely adjustable transmit power).
+
+Reception and interference are resolved by the receiving
+:class:`~repro.sim.phy.Phy` objects: overlapping receptions corrupt each
+other (collision), sleeping or transmitting radios miss frames entirely, and
+any audible transmission keeps a radio's carrier-sense busy.  Propagation
+delay is negligible at the simulated scales and treated as zero, with event
+ordering preserved by the simulator's tie-breaking.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.phy import Phy
+
+
+class Channel:
+    """Shared broadcast medium for all nodes in a simulation.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel (for scheduling frame-end events).
+    positions:
+        Mapping from node id to ``(x, y)`` coordinates in meters.
+    max_range:
+        Nominal transmission range in meters at maximum power; defines the
+        static connectivity graph used for neighbor discovery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        positions: Mapping[int, tuple[float, float]],
+        max_range: float,
+    ) -> None:
+        if max_range <= 0:
+            raise ValueError("max_range must be positive")
+        self.sim = sim
+        self.positions = dict(positions)
+        self.max_range = max_range
+        self._phys: dict[int, "Phy"] = {}
+        self._neighbors: dict[int, list[int]] = {}
+        self._distance_cache: dict[tuple[int, int], float] = {}
+        self.transmissions_started = 0
+
+    # ------------------------------------------------------------------
+    # Registration and geometry
+    # ------------------------------------------------------------------
+    def register(self, phy: "Phy") -> None:
+        """Attach a node's PHY to the medium."""
+        node_id = phy.node_id
+        if node_id not in self.positions:
+            raise ValueError("node %r has no position" % node_id)
+        if node_id in self._phys:
+            raise ValueError("node %r already registered" % node_id)
+        self._phys[node_id] = phy
+        self._neighbors.clear()  # topology changed; recompute lazily
+
+    def distance(self, u: int, v: int) -> float:
+        """Euclidean distance between two nodes in meters."""
+        key = (u, v) if u <= v else (v, u)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            (x1, y1), (x2, y2) = self.positions[u], self.positions[v]
+            cached = math.hypot(x1 - x2, y1 - y2)
+            self._distance_cache[key] = cached
+        return cached
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Registered nodes within nominal range of ``node_id``."""
+        if node_id not in self._neighbors:
+            self._neighbors[node_id] = [
+                other
+                for other in self._phys
+                if other != node_id
+                and self.distance(node_id, other) <= self.max_range
+            ]
+        return self._neighbors[node_id]
+
+    def in_reach(self, src: int, reach: float) -> Iterable["Phy"]:
+        """PHYs of nodes within ``reach`` meters of ``src`` (excluding src)."""
+        for other in self.neighbors(src):
+            if self.distance(src, other) <= reach:
+                yield self._phys[other]
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def begin_transmission(
+        self, src: int, packet: Packet, duration: float, reach: float
+    ) -> None:
+        """Deliver ``packet`` to every node within ``reach`` of ``src``.
+
+        Start-of-frame is signalled immediately to each potential receiver
+        (this is what makes their carrier sense go busy); end-of-frame fires
+        after ``duration`` seconds, at which point each receiver decides
+        whether the frame survived (no collision, radio awake throughout).
+        """
+        if duration <= 0:
+            raise ValueError("transmission duration must be positive")
+        self.transmissions_started += 1
+        receivers = list(self.in_reach(src, min(reach, self.max_range)))
+        for phy in receivers:
+            phy.rx_start(packet, src)
+
+        def _end() -> None:
+            for phy in receivers:
+                phy.rx_end(packet)
+            self._phys[src].tx_end(packet)
+
+        self.sim.schedule(duration, _end)
+
+    def phy(self, node_id: int) -> "Phy":
+        """Look up a registered PHY by node id."""
+        return self._phys[node_id]
+
+    @property
+    def node_ids(self) -> list[int]:
+        return list(self._phys)

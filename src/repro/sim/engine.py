@@ -1,0 +1,221 @@
+"""Discrete-event simulation kernel (the ns-2 scheduler substitute).
+
+A :class:`Simulator` owns a binary-heap event queue and a simulation clock.
+Events are ``(time, priority, sequence, callback)`` tuples; sequence numbers
+break ties so that events scheduled earlier at the same instant fire first,
+keeping runs fully deterministic.  Randomness is provided through named
+:meth:`Simulator.rng` streams seeded from a single master seed, so any
+component (MAC backoff, traffic jitter, TITAN coin flips) can draw without
+perturbing the others — re-running with the same seed reproduces the run
+exactly regardless of which subsystems are enabled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (e.g. events in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Mark the event so that it is skipped when popped.
+
+        Cancelling an already-fired or already-cancelled event is a no-op.
+        """
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Deterministic event-driven simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams.
+    """
+
+    def __init__(self, seed: int = 1) -> None:
+        self._now = 0.0
+        self._queue: list[_Event] = []
+        self._sequence = itertools.count()
+        self._seed = seed
+        self._rngs: dict[str, random.Random] = {}
+        self._running = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock and randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def rng(self, stream: str) -> random.Random:
+        """Return the named random stream, creating it on first use.
+
+        Streams are seeded as ``hash((master_seed, stream))`` equivalents via
+        ``random.Random((seed, stream))`` so distinct names are independent
+        and reproducible.
+        """
+        if stream not in self._rngs:
+            self._rngs[stream] = random.Random("%d/%s" % (self._seed, stream))
+        return self._rngs[stream]
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Lower ``priority`` values fire earlier among same-time events.
+        """
+        if delay < 0:
+            raise SimulationError(
+                "cannot schedule %r in the past (delay=%r)" % (callback, delay)
+            )
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at %r, now is %r" % (time, self._now)
+            )
+        event = _Event(time, priority, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        When stopping at ``until``, the clock is advanced to exactly ``until``
+        so that passive-time accounting (idle/sleep energy) covers the full
+        horizon even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    return
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                self.step()
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+
+class Timer:
+    """A restartable one-shot timer (keep-alive timers, route timeouts).
+
+    Restarting an armed timer cancels the previous expiry, which is exactly
+    the semantics ODPM needs for its keep-alive behaviour.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._handle: EventHandle | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def expires_at(self) -> float | None:
+        """Absolute expiry time, or None when not armed."""
+        if self.armed:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def restart(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def extend_to(self, delay: float) -> None:
+        """Arm the timer only if it would extend the current expiry."""
+        target = self._sim.now + delay
+        if self.armed:
+            assert self._handle is not None
+            if self._handle.time >= target:
+                return
+        self.restart(delay)
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()

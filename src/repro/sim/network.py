@@ -1,0 +1,314 @@
+"""Whole-network simulation assembly.
+
+:class:`WirelessNetwork` turns a :class:`NetworkConfig` — placement, radio
+card, a protocol *preset*, a flow list and a duration — into a running
+simulation and a :class:`~repro.metrics.collectors.RunResult`.
+
+Protocol presets bundle a routing protocol with its power-management setup
+under the labels the paper's figures use (DSR-Active, DSR-ODPM, DSR-ODPM-PC,
+TITAN-PC, DSRH-ODPM(rate)/(norate), DSDVH-ODPM, DSDVH-ODPM(0.6,1.2)-Span,
+MTPR-ODPM, MTPR+-ODPM, ...).  See :data:`PROTOCOLS`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.core.energy_model import NetworkEnergy
+from repro.core.radio import RadioModel
+from repro.metrics.collectors import RunResult
+from repro.net.topology import Placement
+from repro.power import AlwaysActive, Odpm, OdpmConfig, PowerManager
+from repro.routing import (
+    Dsdv,
+    Dsdvh,
+    Dsr,
+    DsrhNoRate,
+    DsrhRate,
+    Mtpr,
+    MtprPlus,
+    ReactiveProtocol,
+    RoutingProtocol,
+    Titan,
+)
+from repro.routing.proactive import ProactiveProtocol
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+from repro.sim.psm import NoPsm, PsmScheduler
+from repro.traffic.cbr import CbrSink, CbrSource, FlowStats
+from repro.traffic.flows import FlowSpec
+
+
+@dataclass(frozen=True)
+class ProtocolPreset:
+    """A named protocol + power-management bundle."""
+
+    label: str
+    routing: Callable[[Node], RoutingProtocol]
+    power_save: bool  # PSM-capable power manager vs always active
+    power_control: bool  # distance-tuned transmit power for data
+    odpm_config: OdpmConfig | None = None
+    advertised_window: bool = False  # Span-style PSM improvement
+    #: Override the power manager entirely (e.g. Span coordinators);
+    #: when set, ``power_save`` only controls whether PSM scheduling runs.
+    power_manager: Callable[[Simulator, int], PowerManager] | None = None
+
+    def power_factory(self) -> Callable[[Simulator, int], PowerManager]:
+        """Build this preset's per-node power-manager constructor."""
+        if self.power_manager is not None:
+            return self.power_manager
+        if not self.power_save:
+            return AlwaysActive
+        config = self.odpm_config or OdpmConfig.paper_default()
+        return lambda sim, node_id: Odpm(sim, node_id, config)
+
+
+def _span_manager(sim: Simulator, node_id: int) -> PowerManager:
+    from repro.power.span import SpanCoordinator
+
+    return SpanCoordinator(sim, node_id)
+
+
+#: The paper's protocol line-up, §5.2 (plus the Span coordinator variant).
+PROTOCOLS: dict[str, ProtocolPreset] = {
+    "DSR-Active": ProtocolPreset(
+        label="DSR-Active", routing=Dsr, power_save=False, power_control=False
+    ),
+    "DSR-ODPM": ProtocolPreset(
+        label="DSR-ODPM", routing=Dsr, power_save=True, power_control=False
+    ),
+    "DSR-ODPM-PC": ProtocolPreset(
+        label="DSR-ODPM-PC", routing=Dsr, power_save=True, power_control=True
+    ),
+    "TITAN-PC": ProtocolPreset(
+        label="TITAN-PC", routing=Titan, power_save=True, power_control=True
+    ),
+    "DSRH-ODPM(rate)": ProtocolPreset(
+        label="DSRH-ODPM(rate)",
+        routing=DsrhRate,
+        power_save=True,
+        power_control=True,
+    ),
+    "DSRH-ODPM(norate)": ProtocolPreset(
+        label="DSRH-ODPM(norate)",
+        routing=DsrhNoRate,
+        power_save=True,
+        power_control=True,
+    ),
+    "DSDVH-ODPM": ProtocolPreset(
+        label="DSDVH-ODPM", routing=Dsdvh, power_save=True, power_control=True
+    ),
+    "DSDVH-ODPM(0.6,1.2)-Span": ProtocolPreset(
+        label="DSDVH-ODPM(0.6,1.2)-Span",
+        routing=Dsdvh,
+        power_save=True,
+        power_control=True,
+        odpm_config=OdpmConfig.span_improved(),
+        advertised_window=True,
+    ),
+    "MTPR-ODPM": ProtocolPreset(
+        label="MTPR-ODPM", routing=Mtpr, power_save=True, power_control=True
+    ),
+    "MTPR+-ODPM": ProtocolPreset(
+        label="MTPR+-ODPM", routing=MtprPlus, power_save=True, power_control=True
+    ),
+    "DSDV-ODPM": ProtocolPreset(
+        label="DSDV-ODPM", routing=Dsdv, power_save=True, power_control=False
+    ),
+    "DSR-Span": ProtocolPreset(
+        label="DSR-Span",
+        routing=Dsr,
+        power_save=True,
+        power_control=False,
+        power_manager=_span_manager,
+    ),
+}
+
+
+@dataclass
+class NetworkConfig:
+    """Everything one simulation run needs."""
+
+    placement: Placement
+    card: RadioModel
+    protocol: str
+    flows: list[FlowSpec]
+    duration: float
+    seed: int = 1
+    rts_enabled: bool = True
+    beacon_interval: float = 0.3
+    atim_window: float = 0.02
+    #: Physical-layer capture threshold (power ratio); None = collisions only.
+    capture_ratio: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                "unknown protocol %r; available: %s"
+                % (self.protocol, ", ".join(sorted(PROTOCOLS)))
+            )
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        node_ids = set(self.placement.positions)
+        for flow in self.flows:
+            if flow.source not in node_ids or flow.destination not in node_ids:
+                raise ValueError("flow %r references unknown nodes" % (flow,))
+
+
+class WirelessNetwork:
+    """A fully-wired simulation ready to run."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+        preset = PROTOCOLS[config.protocol]
+        self.preset = preset
+
+        self.sim = Simulator(seed=config.seed)
+        self.energy = NetworkEnergy()
+        self.channel = Channel(
+            self.sim, config.placement.positions, config.card.max_range
+        )
+        if preset.power_save:
+            self.psm: PsmScheduler | NoPsm = PsmScheduler(
+                self.sim,
+                beacon_interval=config.beacon_interval,
+                atim_window=config.atim_window,
+                advertised_window=preset.advertised_window,
+            )
+        else:
+            self.psm = NoPsm(self.sim)
+
+        power_factory = preset.power_factory()
+        self.nodes: dict[int, Node] = {}
+        for node_id in config.placement.node_ids:
+            ledger = self.energy.add_node(node_id, config.card)
+            node = Node(
+                sim=self.sim,
+                channel=self.channel,
+                node_id=node_id,
+                card=config.card,
+                energy=ledger,
+                power_manager_factory=power_factory,
+                psm=self.psm,
+                power_control=preset.power_control,
+                rts_enabled=config.rts_enabled,
+                capture_ratio=config.capture_ratio,
+            )
+            node.attach_routing(preset.routing(node))
+            self.nodes[node_id] = node
+
+        # Neighbor power-mode oracles (PSM-beacon piggybacking stand-in).
+        for node_id, node in self.nodes.items():
+            for neighbor_id in self.channel.neighbors(node_id):
+                neighbor = self.nodes[neighbor_id]
+                node.register_neighbor_mode(
+                    neighbor_id, lambda n=neighbor: n.power.mode
+                )
+
+        # Traffic.
+        self.flow_stats: list[FlowStats] = []
+        sinks: dict[int, CbrSink] = {}
+        for spec in config.flows:
+            stats = FlowStats(spec=spec)
+            self.flow_stats.append(stats)
+            sink_node = self.nodes[spec.destination]
+            if spec.destination not in sinks:
+                sinks[spec.destination] = CbrSink(self.sim, sink_node)
+            sinks[spec.destination].watch(stats)
+            CbrSource(self.sim, self.nodes[spec.source], spec, stats)
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Run to the configured duration and collect the result."""
+        if not self._started:
+            self._started = True
+            self.psm.start()
+            for node in self.nodes.values():
+                node.start()
+        self.sim.run(until=self.config.duration)
+        for node in self.nodes.values():
+            node.phy.finalize()
+        return RunResult.from_components(
+            protocol=self.config.protocol,
+            seed=self.config.seed,
+            duration=self.config.duration,
+            flows=self.flow_stats,
+            energy=self.energy,
+            control_packets=self.control_packet_count(),
+            relays_used=self.relays_used(),
+            events_processed=self.sim.events_processed,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+    def control_packet_count(self) -> int:
+        """Total routing control transmissions originated network-wide."""
+        total = 0
+        for node in self.nodes.values():
+            routing = node.routing
+            assert routing is not None
+            s = routing.stats
+            total += (
+                s.rreq_sent
+                + s.rreq_forwarded
+                + s.rrep_sent
+                + s.rrep_forwarded
+                + s.rerr_sent
+                + s.updates_sent
+            )
+        return total
+
+    def relays_used(self) -> int:
+        """Nodes that forwarded at least one data packet."""
+        count = 0
+        for node in self.nodes.values():
+            assert node.routing is not None
+            if node.routing.stats.data_forwarded > 0:
+                count += 1
+        return count
+
+    def extract_routes(self) -> dict[int, tuple[int, ...]]:
+        """Current route per flow (for the frozen-route studies, §5.2.3).
+
+        Reactive protocols read the source's route cache; proactive
+        protocols walk next-hop tables.  Flows without a usable route are
+        omitted.
+        """
+        routes: dict[int, tuple[int, ...]] = {}
+        for stats in self.flow_stats:
+            spec = stats.spec
+            routing = self.nodes[spec.source].routing
+            assert routing is not None
+            path: tuple[int, ...] | None = None
+            if isinstance(routing, ReactiveProtocol):
+                cached = routing.cache.get(spec.destination)
+                if cached is not None:
+                    path = cached.path
+            elif isinstance(routing, ProactiveProtocol):
+                path = self._walk_tables(spec.source, spec.destination)
+            if path is not None:
+                routes[spec.flow_id] = path
+        return routes
+
+    def _walk_tables(self, source: int, destination: int) -> tuple[int, ...] | None:
+        path = [source]
+        current = source
+        for _ in range(len(self.nodes)):
+            routing = self.nodes[current].routing
+            assert isinstance(routing, ProactiveProtocol)
+            hop = routing.route_to(destination)
+            if hop is None:
+                return None
+            current = hop[0]
+            if current in path:
+                return None  # transient loop; no stable route yet
+            path.append(current)
+            if current == destination:
+                return tuple(path)
+        return None

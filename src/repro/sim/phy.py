@@ -1,0 +1,320 @@
+"""Radio transceiver: state machine, energy integration, power control.
+
+Each node owns one :class:`Phy`.  The PHY keeps the radio's operating state
+(transmit / receive / idle / sleep, §2.1), integrates energy into the node's
+:class:`~repro.core.energy_model.NodeEnergy` ledger on every state change,
+and implements transmission power control: data frames can be sent with just
+enough power to reach the next hop's distance, while control frames always go
+out at maximum power (Eq. 2 of the paper).
+
+Reception semantics (resolved here, signalled by the channel):
+
+* A radio that is asleep or transmitting when a frame starts misses it.
+* Two receptions overlapping in time corrupt each other (collision) — this
+  covers hidden terminals, since carrier sensing only protects nodes that can
+  hear the sender.
+* A frame also dies if its receiver falls asleep mid-frame.
+* Any audible frame (even one addressed elsewhere) occupies the radio in
+  receive state: that is both carrier sense and promiscuous overhearing cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.energy_model import NodeEnergy
+from repro.core.radio import RadioModel, RadioState
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+
+class Phy:
+    """Single half-duplex radio attached to a shared channel.
+
+    Parameters
+    ----------
+    sim, channel:
+        Kernel and medium.
+    node_id:
+        This node's identifier.
+    card:
+        The radio model (Table 1 card) providing power draws and ranges.
+    energy:
+        Ledger to charge; typically shared with the metrics layer.
+    power_margin:
+        Multiplier on the distance used to compute the power-controlled
+        transmit level, modelling a safety margin above the exact
+        reach-the-receiver power.  1.0 reproduces the paper's idealized
+        "infinitely adjustable" assumption.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        node_id: int,
+        card: RadioModel,
+        energy: NodeEnergy,
+        power_margin: float = 1.0,
+        capture_ratio: float | None = None,
+    ) -> None:
+        if power_margin < 1.0:
+            raise ValueError("power margin below 1 cannot reach the receiver")
+        if capture_ratio is not None and capture_ratio <= 1.0:
+            raise ValueError("capture ratio must exceed 1 (a power ratio)")
+        self.sim = sim
+        self.channel = channel
+        self.node_id = node_id
+        self.card = card
+        self.energy = energy
+        self.power_margin = power_margin
+        #: Physical-layer capture: when one overlapping frame is received at
+        #: least ``capture_ratio`` times stronger than the other, it survives
+        #: the collision.  ``None`` (default) models destructive collisions
+        #: only, the conservative 802.11 assumption.
+        self.capture_ratio = capture_ratio
+
+        self._state = RadioState.IDLE
+        self._state_since = 0.0
+        self.failed = False
+        self._tx_packet: Packet | None = None
+        self._tx_distance: float | None = None
+        self._rx_packets: list[Packet] = []
+        self._rx_corrupted: set[int] = set()
+        self._rx_missed: set[int] = set()
+
+        #: Upcall: a frame survived reception (set by the MAC).
+        self.on_receive: Callable[[Packet], None] = lambda packet: None
+        #: Upcall: our own transmission finished (set by the MAC).
+        self.on_tx_done: Callable[[Packet], None] = lambda packet: None
+
+        #: Counters for tests and traces.
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_collided = 0
+
+        channel.register(self)
+
+    # ------------------------------------------------------------------
+    # State and energy accounting
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> RadioState:
+        return self._state
+
+    @property
+    def asleep(self) -> bool:
+        return self._state is RadioState.SLEEP
+
+    @property
+    def carrier_busy(self) -> bool:
+        """True when the medium is unusable: we are sending, receiving or
+        overhearing a frame.  (A sleeping radio cannot assess the carrier;
+        the MAC never asks while asleep.)"""
+        return self._state in (RadioState.TRANSMIT, RadioState.RECEIVE)
+
+    def _charge_elapsed(self) -> None:
+        """Charge the ledger for time spent in the current state."""
+        elapsed = self.sim.now - self._state_since
+        self._state_since = self.sim.now
+        if elapsed <= 0:
+            return
+        if self._state is RadioState.IDLE:
+            self.energy.charge_idle(elapsed)
+        elif self._state is RadioState.SLEEP:
+            self.energy.charge_sleep(elapsed)
+        elif self._state is RadioState.TRANSMIT:
+            assert self._tx_packet is not None
+            if self._tx_packet.is_control:
+                self.energy.charge_control_tx(elapsed)
+            else:
+                self.energy.charge_data_tx(elapsed, self._tx_distance)
+        elif self._state is RadioState.RECEIVE:
+            # Charge by the frame that initiated the receive period.
+            control = self._rx_packets[0].is_control if self._rx_packets else True
+            if control:
+                self.energy.charge_control_rx(elapsed)
+            else:
+                self.energy.charge_data_rx(elapsed)
+
+    def _set_state(self, state: RadioState) -> None:
+        self._charge_elapsed()
+        self._state = state
+
+    def finalize(self) -> None:
+        """Charge any trailing state occupancy at end of simulation."""
+        self._charge_elapsed()
+
+    # ------------------------------------------------------------------
+    # Sleep control (driven by the PSM scheduler / power manager)
+    # ------------------------------------------------------------------
+    def sleep(self) -> None:
+        """Put the radio to sleep.  Any in-flight receptions are lost."""
+        if self._state is RadioState.SLEEP:
+            return
+        if self._state is RadioState.TRANSMIT:
+            raise RuntimeError("cannot sleep while transmitting")
+        for packet in self._rx_packets:
+            self._rx_missed.add(packet.uid)
+        self._rx_packets.clear()
+        self._set_state(RadioState.SLEEP)
+
+    def wake(self) -> None:
+        """Wake the radio into idle state, charging the switching cost.
+
+        Failed radios never wake.
+        """
+        if self.failed:
+            return
+        if self._state is not RadioState.SLEEP:
+            return
+        self._set_state(RadioState.IDLE)
+        self.energy.charge_switch()
+
+    def fail(self) -> None:
+        """Permanently kill this radio (crash / battery-death injection).
+
+        The radio drops any reception in progress and sleeps forever; an
+        in-flight transmission completes first (the frame was already on the
+        air).  Failed radios draw sleep power, cannot transmit and ignore
+        all arriving frames.
+        """
+        self.failed = True
+        if self._state is RadioState.TRANSMIT:
+            return  # tx_end() will park the radio
+        for packet in self._rx_packets:
+            self._rx_missed.add(packet.uid)
+        self._rx_packets.clear()
+        if self._state is not RadioState.SLEEP:
+            self._set_state(RadioState.SLEEP)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, packet: Packet, distance: float | None = None) -> float:
+        """Send ``packet``; returns its airtime in seconds.
+
+        ``distance`` enables power control: the frame is transmitted with
+        ``P_tx(margin * distance)`` and reaches exactly that far.  ``None``
+        (and every control frame) means maximum power and nominal range.
+        The MAC must ensure the radio is awake and the carrier free.
+        """
+        if self.failed:
+            raise RuntimeError("node %r: radio has failed" % self.node_id)
+        if self._state is RadioState.SLEEP:
+            raise RuntimeError("node %r: transmit while asleep" % self.node_id)
+        if self._state is RadioState.TRANSMIT:
+            raise RuntimeError("node %r: already transmitting" % self.node_id)
+        if packet.is_control:
+            distance = None  # control frames always at maximum power
+        if distance is not None:
+            reach = min(distance * self.power_margin, self.card.max_range)
+            self._tx_distance = reach
+        else:
+            reach = self.card.max_range
+            self._tx_distance = None
+        duration = packet.size_bits / self.card.bandwidth
+        # Receptions in progress are trampled by our own transmission.
+        for rx in self._rx_packets:
+            self._rx_missed.add(rx.uid)
+        self._rx_packets.clear()
+        self._set_state(RadioState.TRANSMIT)
+        self._tx_packet = packet
+        self.frames_sent += 1
+        self.channel.begin_transmission(self.node_id, packet, duration, reach)
+        return duration
+
+    def tx_end(self, packet: Packet) -> None:
+        """Channel callback: our transmission completed."""
+        assert self._tx_packet is not None and self._tx_packet.uid == packet.uid
+        self._set_state(RadioState.SLEEP if self.failed else RadioState.IDLE)
+        self._tx_packet = None
+        self._tx_distance = None
+        if not self.failed:
+            self.on_tx_done(packet)
+
+    # ------------------------------------------------------------------
+    # Reception (channel callbacks)
+    # ------------------------------------------------------------------
+    def rx_start(self, packet: Packet, src: int) -> None:
+        """A frame from ``src`` starts arriving."""
+        if self._state in (RadioState.SLEEP, RadioState.TRANSMIT):
+            self._rx_missed.add(packet.uid)
+            return
+        if self._rx_packets:
+            self.frames_collided += 1
+            verdict = self._capture_verdict(packet, src)
+            if verdict == "keep-current":
+                # The ongoing frame powers through; the newcomer is noise.
+                self._rx_missed.add(packet.uid)
+                return
+            if verdict == "capture-new":
+                # The newcomer captures the radio; ongoing frames die.
+                for other in self._rx_packets:
+                    self._rx_corrupted.add(other.uid)
+            else:
+                # Destructive collision: every overlapping frame corrupts.
+                for other in self._rx_packets:
+                    self._rx_corrupted.add(other.uid)
+                self._rx_corrupted.add(packet.uid)
+        else:
+            self._set_state(RadioState.RECEIVE)
+        self._rx_packets.append(packet)
+
+    def _signal_strength(self, src: int) -> float:
+        """Relative received power from ``src`` under the 1/d^n model.
+
+        Control frames and max-power data arrive at ``P_tx_max / d^n``;
+        the capture comparison only needs the ratio, so the transmit power
+        common factor uses the nominal maximum (power-controlled data is
+        sent with just enough power, making it *weaker* in reality — this
+        approximation therefore favors capture slightly; acceptable for an
+        ablation knob that defaults to off).
+        """
+        distance = max(self.channel.distance(self.node_id, src), 1e-3)
+        return 1.0 / distance**self.card.path_loss_exponent
+
+    def _capture_verdict(self, packet: Packet, src: int) -> str:
+        """Physical-layer capture decision for an overlapping frame.
+
+        Returns ``"keep-current"`` (the ongoing frame survives, the newcomer
+        is noise), ``"capture-new"`` (the newcomer survives) or
+        ``"collision"`` (both die — always the answer with capture off).
+        """
+        if self.capture_ratio is None or len(self._rx_packets) != 1:
+            return "collision"
+        current = self._rx_packets[0]
+        if current.uid in self._rx_corrupted:
+            return "collision"
+        current_strength = self._signal_strength(current.src)
+        new_strength = self._signal_strength(src)
+        if current_strength >= self.capture_ratio * new_strength:
+            return "keep-current"
+        if new_strength >= self.capture_ratio * current_strength:
+            return "capture-new"
+        return "collision"
+
+    def rx_end(self, packet: Packet) -> None:
+        """A frame finishes; decide whether it survived."""
+        if packet.uid in self._rx_missed:
+            self._rx_missed.discard(packet.uid)
+            return
+        if self._state is RadioState.RECEIVE and packet in self._rx_packets:
+            # Charge the receive period now, while the frame is still in the
+            # list, so the energy is classified by the right packet kind.
+            self._charge_elapsed()
+        try:
+            self._rx_packets.remove(packet)
+        except ValueError:
+            # Lost mid-frame to sleep or our own transmission.
+            self._rx_corrupted.discard(packet.uid)
+            return
+        corrupted = packet.uid in self._rx_corrupted
+        self._rx_corrupted.discard(packet.uid)
+        if not self._rx_packets and self._state is RadioState.RECEIVE:
+            self._set_state(RadioState.IDLE)
+        if corrupted:
+            return
+        self.frames_received += 1
+        self.on_receive(packet)

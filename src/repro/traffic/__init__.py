@@ -1,0 +1,13 @@
+"""Traffic generation: CBR flows as used throughout §5.2."""
+
+from repro.traffic.cbr import CbrSink, CbrSource, FlowStats
+from repro.traffic.flows import FlowSpec, grid_flows, random_flows
+
+__all__ = [
+    "CbrSink",
+    "CbrSource",
+    "FlowSpec",
+    "FlowStats",
+    "grid_flows",
+    "random_flows",
+]

@@ -1,0 +1,109 @@
+"""Flow specifications and endpoint selection.
+
+The paper's workloads: N CBR flows between random distinct endpoints
+(small/large/density scenarios) or seven left-to-right flows across a 7x7
+grid (the hypothetical-card study, §5.2.3).  Start times are drawn uniformly
+from [20 s, 25 s] in every scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One CBR flow: endpoints, rate, packet size and start/stop times."""
+
+    flow_id: int
+    source: int
+    destination: int
+    rate_bps: float
+    packet_bytes: int = 128
+    start: float = 20.0
+    stop: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("flow endpoints must differ")
+        if self.rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError("stop must come after start")
+
+    @property
+    def interval(self) -> float:
+        """Seconds between packets."""
+        return self.packet_bytes * 8 / self.rate_bps
+
+
+def random_flows(
+    node_ids: list[int],
+    count: int,
+    rate_bps: float,
+    rng: random.Random,
+    packet_bytes: int = 128,
+    start_window: tuple[float, float] = (20.0, 25.0),
+    stop: float | None = None,
+) -> list[FlowSpec]:
+    """Pick ``count`` flows between distinct random endpoint pairs.
+
+    No node serves as the source of two flows (matching typical ns-2 CBR
+    scripts); destinations may repeat across flows.
+    """
+    if count < 1:
+        raise ValueError("need at least one flow")
+    if len(node_ids) < 2:
+        raise ValueError("need at least two nodes")
+    if count > len(node_ids):
+        raise ValueError("more flows than possible distinct sources")
+    sources = rng.sample(node_ids, count)
+    flows = []
+    for flow_id, source in enumerate(sources):
+        destination = rng.choice([n for n in node_ids if n != source])
+        flows.append(
+            FlowSpec(
+                flow_id=flow_id,
+                source=source,
+                destination=destination,
+                rate_bps=rate_bps,
+                packet_bytes=packet_bytes,
+                start=rng.uniform(*start_window),
+                stop=stop,
+            )
+        )
+    return flows
+
+
+def grid_flows(
+    side: int,
+    rate_bps: float,
+    rng: random.Random,
+    packet_bytes: int = 128,
+    start_window: tuple[float, float] = (20.0, 25.0),
+    stop: float | None = None,
+) -> list[FlowSpec]:
+    """The §5.2.3 grid workload: one flow per row, left edge to right edge.
+
+    Node ids follow row-major order on a ``side x side`` grid, so row ``r``
+    runs from node ``r * side`` to node ``r * side + side - 1``.
+    """
+    if side < 2:
+        raise ValueError("grid side must be at least 2")
+    flows = []
+    for row in range(side):
+        flows.append(
+            FlowSpec(
+                flow_id=row,
+                source=row * side,
+                destination=row * side + side - 1,
+                rate_bps=rate_bps,
+                packet_bytes=packet_bytes,
+                start=rng.uniform(*start_window),
+                stop=stop,
+            )
+        )
+    return flows

@@ -1,0 +1,72 @@
+"""Shared fixtures: cards, placements, small assembled networks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.radio import CABLETRON, HYPOTHETICAL_CABLETRON, MICA2, RadioModel
+from repro.net.topology import Placement, grid_placement, uniform_random_placement
+from repro.sim.network import NetworkConfig, WirelessNetwork
+from repro.traffic.flows import FlowSpec
+
+
+@pytest.fixture
+def card() -> RadioModel:
+    return CABLETRON
+
+
+@pytest.fixture
+def line_placement() -> Placement:
+    """Five nodes on a line, 150 m apart (multi-hop at 250 m range)."""
+    positions = {i: (150.0 * i, 0.0) for i in range(5)}
+    return Placement(positions, width=600.0, height=1.0)
+
+
+@pytest.fixture
+def pair_placement() -> Placement:
+    """Two nodes 100 m apart."""
+    return Placement({0: (0.0, 0.0), 1: (100.0, 0.0)}, width=100.0, height=1.0)
+
+
+@pytest.fixture
+def grid7() -> Placement:
+    return grid_placement(7, 300.0, 300.0)
+
+
+@pytest.fixture
+def random30() -> Placement:
+    rng = random.Random(42)
+    return uniform_random_placement(
+        30, 400.0, 400.0, rng, require_connected_range=CABLETRON.max_range
+    )
+
+
+def build_network(
+    placement: Placement,
+    protocol: str,
+    flows: list[FlowSpec],
+    duration: float = 30.0,
+    seed: int = 1,
+    card: RadioModel = CABLETRON,
+    **kwargs,
+) -> WirelessNetwork:
+    """Assemble a network for integration-style tests."""
+    config = NetworkConfig(
+        placement=placement,
+        card=card,
+        protocol=protocol,
+        flows=flows,
+        duration=duration,
+        seed=seed,
+        **kwargs,
+    )
+    return WirelessNetwork(config)
+
+
+def line_flow(rate_bps: float = 4000.0, start: float = 1.0, **kwargs) -> FlowSpec:
+    """A flow across the 5-node line placement (node 0 -> node 4)."""
+    return FlowSpec(
+        flow_id=0, source=0, destination=4, rate_bps=rate_bps, start=start, **kwargs
+    )

@@ -1,0 +1,188 @@
+"""Tests for the characteristic hop count analysis (§5.1, Eq. 15, Fig. 7)."""
+
+import math
+
+import pytest
+
+from repro.core.analytical import (
+    characteristic_hop_count,
+    fig7_curves,
+    minimum_alpha2_for_relaying,
+    optimal_hop_count,
+    relaying_saves_energy,
+    route_energy,
+)
+from repro.core.radio import (
+    AIRONET_350,
+    CABLETRON,
+    HYPOTHETICAL_CABLETRON,
+    LEACH_N2,
+    LEACH_N4,
+    MICA2,
+)
+
+
+def eq15_by_hand(card, distance, utilization):
+    """Independent implementation of Eq. 15 for cross-checking."""
+    n = card.path_loss_exponent
+    denom = card.p_base + card.p_rx + (
+        (1 - 2 * utilization) / utilization
+    ) * card.p_idle
+    return distance * ((n - 1) * card.alpha2 / denom) ** (1.0 / n)
+
+
+class TestEq15:
+    @pytest.mark.parametrize("utilization", [0.1, 0.25, 0.4, 0.5])
+    @pytest.mark.parametrize(
+        "card,distance",
+        [
+            (CABLETRON, 250.0),
+            (AIRONET_350, 140.0),
+            (MICA2, 68.0),
+            (LEACH_N4, 100.0),
+            (LEACH_N2, 75.0),
+            (HYPOTHETICAL_CABLETRON, 250.0),
+        ],
+    )
+    def test_matches_hand_computation(self, card, distance, utilization):
+        assert optimal_hop_count(card, distance, utilization) == pytest.approx(
+            eq15_by_hand(card, distance, utilization)
+        )
+
+    def test_full_utilization_removes_idle_term(self):
+        # At R/B = 0.5 the idle weight (1 - 2 R/B)/(R/B) vanishes.
+        m = optimal_hop_count(CABLETRON, 250.0, 0.5)
+        denom = CABLETRON.p_base + CABLETRON.p_rx
+        expected = 250.0 * (3 * CABLETRON.alpha2 / denom) ** 0.25
+        assert m == pytest.approx(expected)
+
+    def test_monotone_in_utilization(self):
+        # Higher utilization -> less idling weight -> relays look better.
+        ms = [
+            optimal_hop_count(CABLETRON, 250.0, u)
+            for u in (0.1, 0.2, 0.3, 0.4, 0.5)
+        ]
+        assert ms == sorted(ms)
+
+    def test_linear_in_distance(self):
+        m1 = optimal_hop_count(CABLETRON, 100.0, 0.25)
+        m2 = optimal_hop_count(CABLETRON, 200.0, 0.25)
+        assert m2 == pytest.approx(2 * m1)
+
+    def test_invalid_utilization_rejected(self):
+        for bad in (0.0, -0.1, 0.51, 1.0):
+            with pytest.raises(ValueError):
+                optimal_hop_count(CABLETRON, 250.0, bad)
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_hop_count(CABLETRON, 0.0, 0.25)
+
+
+class TestPaperClaims:
+    """The headline results of §5.1."""
+
+    def test_no_real_card_justifies_relaying(self):
+        """m_opt < 2 for all real cards at all plotted utilizations."""
+        for card, distance in [
+            (CABLETRON, 250.0),
+            (AIRONET_350, 140.0),
+            (MICA2, 68.0),
+            (LEACH_N4, 100.0),
+            (LEACH_N2, 75.0),
+        ]:
+            for u in (0.1, 0.2, 0.3, 0.4, 0.5):
+                assert optimal_hop_count(card, distance, u) < 2.0
+                assert not relaying_saves_energy(card, distance, u)
+
+    def test_hypothetical_cabletron_crosses_at_quarter_utilization(self):
+        """alpha2 = 5.2e-6 mW/m^4 gives m_opt >= 2 at R/B = 0.25 (paper)."""
+        assert optimal_hop_count(HYPOTHETICAL_CABLETRON, 250.0, 0.25) >= 2.0
+        assert relaying_saves_energy(HYPOTHETICAL_CABLETRON, 250.0, 0.25)
+
+    def test_minimum_alpha2_reproduces_5_16e6(self):
+        """The paper derives alpha2 >= 5.16e-6 mW/m^4 for m_opt >= 2."""
+        alpha2 = minimum_alpha2_for_relaying(CABLETRON, 250.0, 0.25)
+        assert alpha2 == pytest.approx(5.16e-6 * 1e-3, rel=0.01)
+
+    def test_minimum_alpha2_is_tight(self):
+        alpha2 = minimum_alpha2_for_relaying(CABLETRON, 250.0, 0.25)
+        below = CABLETRON.with_alpha2(alpha2 * 0.99)
+        above = CABLETRON.with_alpha2(alpha2 * 1.01)
+        assert optimal_hop_count(below, 250.0, 0.25) < 2.0
+        assert optimal_hop_count(above, 250.0, 0.25) >= 2.0
+
+
+class TestCharacteristicHopCount:
+    def test_integralization_below_one(self):
+        # m_opt < 1 -> ceil -> one direct hop.
+        assert characteristic_hop_count(CABLETRON, 250.0, 0.5) == 1
+
+    def test_integralization_above_one(self):
+        # m_opt >= 1 -> floor.
+        m_cont = optimal_hop_count(HYPOTHETICAL_CABLETRON, 250.0, 0.5)
+        assert m_cont >= 1
+        assert characteristic_hop_count(
+            HYPOTHETICAL_CABLETRON, 250.0, 0.5
+        ) == math.floor(m_cont)
+
+    def test_never_below_one(self):
+        assert characteristic_hop_count(MICA2, 5.0, 0.1) >= 1
+
+
+class TestRouteEnergy:
+    def test_direct_beats_relaying_for_cabletron(self):
+        """Eq. 14 evaluated directly: 1 hop beats 2+ for the real card."""
+        energies = [
+            route_energy(CABLETRON, 250.0, hops, utilization=0.25)
+            for hops in (1, 2, 3, 4)
+        ]
+        assert energies[0] == min(energies)
+
+    def test_relaying_wins_for_hypothetical_card(self):
+        e1 = route_energy(HYPOTHETICAL_CABLETRON, 250.0, 1, utilization=0.25)
+        e2 = route_energy(HYPOTHETICAL_CABLETRON, 250.0, 2, utilization=0.25)
+        assert e2 < e1
+
+    def test_minimum_near_mopt(self):
+        """The discrete minimum of Eq. 14 sits at floor/ceil of m_opt."""
+        card, distance, u = HYPOTHETICAL_CABLETRON, 250.0, 0.3
+        m_opt = optimal_hop_count(card, distance, u)
+        energies = {
+            hops: route_energy(card, distance, hops, u) for hops in range(1, 8)
+        }
+        best = min(energies, key=energies.get)
+        assert best in (math.floor(m_opt), math.ceil(m_opt))
+
+    def test_energy_scales_with_duration(self):
+        e1 = route_energy(CABLETRON, 200.0, 2, 0.2, duration=1.0)
+        e10 = route_energy(CABLETRON, 200.0, 2, 0.2, duration=10.0)
+        assert e10 == pytest.approx(10 * e1)
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ValueError):
+            route_energy(CABLETRON, 100.0, 0, 0.25)
+
+
+class TestFig7Curves:
+    def test_six_curves(self):
+        curves = fig7_curves()
+        assert len(curves) == 6
+
+    def test_only_hypothetical_crosses_threshold(self):
+        curves = fig7_curves()
+        crossing = [c.card.name for c in curves if c.crosses_relaying_threshold()]
+        assert crossing == ["Hypothetical Cabletron"]
+
+    def test_default_utilization_sweep_matches_figure_axis(self):
+        curve = fig7_curves()[0]
+        assert curve.utilizations[0] == pytest.approx(0.1)
+        assert curve.utilizations[-1] == pytest.approx(0.5)
+
+    def test_custom_utilizations(self):
+        curves = fig7_curves(utilizations=(0.2, 0.4))
+        assert all(len(c.hop_counts) == 2 for c in curves)
+
+    def test_labels_carry_distance(self):
+        labels = [c.label for c in fig7_curves()]
+        assert "Cabletron (D=250m)" in labels

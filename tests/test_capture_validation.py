@@ -1,0 +1,142 @@
+"""Tests for physical-layer capture and the paper-claims validator."""
+
+import pytest
+
+from repro.core.energy_model import NodeEnergy
+from repro.core.radio import CABLETRON
+from repro.experiments.validation import (
+    CLAIMS,
+    Claim,
+    ClaimResult,
+    print_report,
+    validate,
+)
+from repro.net.topology import Placement
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.packet import make_data_packet
+from repro.sim.phy import Phy
+from repro.traffic.flows import FlowSpec
+
+from tests.conftest import build_network
+
+
+def build_capture_phys(capture_ratio):
+    """Receiver at origin; a close sender (30 m) and a far one (240 m)."""
+    sim = Simulator()
+    positions = {0: (0.0, 0.0), 1: (30.0, 0.0), 2: (240.0, 0.0)}
+    channel = Channel(sim, positions, max_range=250.0)
+    phys = {
+        node_id: Phy(sim, channel, node_id, CABLETRON,
+                     NodeEnergy(card=CABLETRON), capture_ratio=capture_ratio)
+        for node_id in positions
+    }
+    return sim, phys
+
+
+class TestCaptureEffect:
+    def test_strong_first_frame_survives_overlap(self):
+        sim, phys = build_capture_phys(capture_ratio=10.0)
+        received = []
+        phys[0].on_receive = lambda p: received.append(p.src)
+        phys[1].transmit(make_data_packet(origin=1, final_dst=0, src=1, dst=0))
+        phys[2].transmit(make_data_packet(origin=2, final_dst=0, src=2, dst=0))
+        sim.run()
+        # (240/30)^4 = 4096x power advantage: the close frame survives.
+        assert received == [1]
+
+    def test_strong_late_frame_captures(self):
+        sim, phys = build_capture_phys(capture_ratio=10.0)
+        received = []
+        phys[0].on_receive = lambda p: received.append(p.src)
+        phys[2].transmit(make_data_packet(origin=2, final_dst=0, src=2, dst=0))
+        # The close sender starts a moment later and captures the radio.
+        sim.schedule(1e-5, lambda: phys[1].transmit(
+            make_data_packet(origin=1, final_dst=0, src=1, dst=0)
+        ))
+        sim.run()
+        assert received == [1]
+
+    def test_comparable_frames_still_collide(self):
+        sim = Simulator()
+        positions = {0: (100.0, 0.0), 1: (0.0, 0.0), 2: (200.0, 0.0)}
+        channel = Channel(sim, positions, max_range=250.0)
+        phys = {
+            n: Phy(sim, channel, n, CABLETRON, NodeEnergy(card=CABLETRON),
+                   capture_ratio=10.0)
+            for n in positions
+        }
+        received = []
+        phys[0].on_receive = lambda p: received.append(p.src)
+        phys[1].transmit(make_data_packet(origin=1, final_dst=0, src=1, dst=0))
+        phys[2].transmit(make_data_packet(origin=2, final_dst=0, src=2, dst=0))
+        sim.run()
+        assert received == []  # equal distances: no capture
+
+    def test_capture_off_is_destructive(self):
+        sim, phys = build_capture_phys(capture_ratio=None)
+        received = []
+        phys[0].on_receive = lambda p: received.append(p.src)
+        phys[1].transmit(make_data_packet(origin=1, final_dst=0, src=1, dst=0))
+        phys[2].transmit(make_data_packet(origin=2, final_dst=0, src=2, dst=0))
+        sim.run()
+        assert received == []
+
+    def test_invalid_ratio_rejected(self):
+        sim = Simulator()
+        channel = Channel(sim, {0: (0.0, 0.0)}, max_range=250.0)
+        with pytest.raises(ValueError):
+            Phy(sim, channel, 0, CABLETRON, NodeEnergy(card=CABLETRON),
+                capture_ratio=0.5)
+
+    def test_capture_improves_hidden_terminal_delivery(self):
+        """End to end: capture resolves asymmetric hidden-terminal losses."""
+        placement = Placement(
+            {0: (0.0, 0.0), 1: (60.0, 0.0), 2: (300.0, 0.0)}, 300.0, 1.0
+        )
+        flows = [
+            FlowSpec(flow_id=0, source=0, destination=1, rate_bps=32000.0,
+                     start=1.0),
+            FlowSpec(flow_id=1, source=2, destination=1, rate_bps=32000.0,
+                     start=1.0),
+        ]
+        plain = build_network(placement, "DSR-Active", flows, duration=20.0)
+        plain_result = plain.run()
+        captured = build_network(placement, "DSR-Active", flows,
+                                 duration=20.0, capture_ratio=10.0)
+        captured_result = captured.run()
+        # The close flow (0 -> 1) benefits from capture.
+        assert (
+            captured_result.flows[0].delivery_ratio
+            >= plain_result.flows[0].delivery_ratio
+        )
+
+
+class TestValidation:
+    def test_all_claims_pass(self):
+        results = validate()
+        failed = [r for r in results if not r.passed]
+        assert not failed, [
+            (r.claim.claim_id, r.error) for r in failed
+        ]
+
+    def test_claims_cover_both_study_kinds(self):
+        sections = {claim.section for claim in CLAIMS}
+        assert "3" in sections          # problem formalization
+        assert "5.1" in sections        # analytical study
+        assert any(s.startswith("5.2") for s in sections)  # simulation study
+
+    def test_failing_claim_reported_not_raised(self):
+        broken = Claim("broken", "x", "always fails", lambda: 1 / 0)
+        results = validate((broken,))
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "ZeroDivisionError" in results[0].error
+
+    def test_print_report_returns_overall(self, capsys):
+        good = Claim("good", "x", "passes", lambda: True)
+        assert print_report(validate((good,))) is True
+        bad = Claim("bad", "x", "fails", lambda: False)
+        assert print_report(validate((bad,))) is False
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" in out

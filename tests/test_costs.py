@@ -1,0 +1,125 @@
+"""Tests for the route-selection cost functions (Eqs. 10–12)."""
+
+import pytest
+
+from repro.core.radio import CABLETRON, MICA2, PowerMode
+from repro.routing.costs import (
+    HopCount,
+    JointCost,
+    MtprCost,
+    MtprPlusCost,
+    route_cost,
+)
+
+AM = PowerMode.ACTIVE
+PSM = PowerMode.POWER_SAVE
+
+
+class TestHopCount:
+    def test_always_one(self):
+        cost = HopCount()
+        assert cost(10.0, AM, None) == 1.0
+        assert cost(250.0, PSM, 1e6) == 1.0
+
+
+class TestMtprCost:
+    """Eq. 10: f(u, v) = P_t(u, v)."""
+
+    def test_matches_transmit_power_level(self):
+        cost = MtprCost(CABLETRON)
+        assert cost(100.0, AM, None) == pytest.approx(
+            CABLETRON.transmit_power_level(100.0)
+        )
+
+    def test_ignores_power_mode_and_rate(self):
+        cost = MtprCost(CABLETRON)
+        assert cost(100.0, AM, None) == cost(100.0, PSM, 5000.0)
+
+    def test_two_short_hops_beat_one_long_hop(self):
+        """The defining property of MTPR under polynomial attenuation."""
+        cost = MtprCost(CABLETRON)
+        assert 2 * cost(100.0, AM, None) < cost(200.0, AM, None)
+
+
+class TestMtprPlusCost:
+    """Eq. 11: f(u, v) = P_base + P_t(u, v) + P_rx."""
+
+    def test_adds_fixed_costs(self):
+        plain = MtprCost(CABLETRON)
+        plus = MtprPlusCost(CABLETRON)
+        assert plus(100.0, AM, None) == pytest.approx(
+            plain(100.0, AM, None) + CABLETRON.p_base + CABLETRON.p_rx
+        )
+
+    def test_discourages_extra_relays_at_short_distance(self):
+        """With fixed costs, splitting a short hop is not worth it."""
+        cost = MtprPlusCost(CABLETRON)
+        assert 2 * cost(50.0, AM, None) > cost(100.0, AM, None)
+
+
+class TestJointCost:
+    """Eq. 12: h(u, v, r) with PSM penalty."""
+
+    def test_psm_relay_pays_idle_penalty(self):
+        cost = JointCost(CABLETRON, use_rate=False)
+        assert cost(100.0, PSM, None) - cost(100.0, AM, None) == pytest.approx(
+            CABLETRON.p_idle
+        )
+
+    def test_rate_scaling(self):
+        cost = JointCost(CABLETRON, use_rate=True)
+        full = cost(100.0, AM, CABLETRON.bandwidth)
+        half = cost(100.0, AM, CABLETRON.bandwidth / 2)
+        assert half == pytest.approx(full / 2)
+
+    def test_norate_treats_utilization_as_one(self):
+        with_rate = JointCost(CABLETRON, use_rate=True)
+        norate = JointCost(CABLETRON, use_rate=False)
+        assert norate(100.0, AM, 123.0) == pytest.approx(
+            with_rate(100.0, AM, CABLETRON.bandwidth)
+        )
+
+    def test_communication_term_formula(self):
+        cost = JointCost(CABLETRON, use_rate=False)
+        expected = (
+            CABLETRON.transmit_power(100.0)
+            + CABLETRON.p_rx
+            - 2 * CABLETRON.p_idle
+        )
+        assert cost(100.0, AM, None) == pytest.approx(expected)
+
+    def test_clamped_at_zero_for_idle_dominant_cards(self):
+        """Mica2: P_tx + P_rx < 2 P_idle at short range; cost must not go
+        negative (which would reward gratuitous relays)."""
+        cost = JointCost(MICA2, use_rate=False)
+        assert MICA2.transmit_power(1.0) + MICA2.p_rx < 2 * MICA2.p_idle
+        assert cost(1.0, AM, None) == 0.0
+
+    def test_rate_capped_at_bandwidth(self):
+        cost = JointCost(CABLETRON, use_rate=True)
+        assert cost(100.0, AM, 10 * CABLETRON.bandwidth) == pytest.approx(
+            cost(100.0, AM, CABLETRON.bandwidth)
+        )
+
+    def test_low_rate_flow_prefers_awake_detour(self):
+        """At low rates the PSM penalty dominates: a longer route through
+        active nodes is cheaper than a short route through sleeping ones —
+        the heart of the idling-first argument."""
+        cost = JointCost(CABLETRON, use_rate=True)
+        rate = 4000.0  # 4 Kbit/s
+        sleeping_direct = cost(100.0, PSM, rate)
+        awake_detour = 2 * cost(120.0, AM, rate)
+        assert awake_detour < sleeping_direct
+
+
+class TestRouteCost:
+    def test_sums_per_hop(self):
+        cost = MtprCost(CABLETRON)
+        total = route_cost(cost, [100.0, 150.0], [AM, AM])
+        assert total == pytest.approx(
+            cost(100.0, AM, None) + cost(150.0, AM, None)
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            route_cost(HopCount(), [100.0], [AM, PSM])

@@ -1,0 +1,198 @@
+"""Tests for the §3 problem formalization and worst-case constructions."""
+
+import pytest
+
+from repro.core.design_problem import (
+    Demand,
+    DesignInstance,
+    Solution,
+    SteinerForestExample,
+    SteinerTreeExample,
+)
+
+
+class TestDemand:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Demand(1, 1)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            Demand(1, 2, rate=-1.0)
+
+
+class TestSteinerTreeExample:
+    """Figs. 1–3 and Eqs. 6–7."""
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 10, 50])
+    def test_eq6_matches_transmission_count(self, k):
+        """E_ST1 = t_idle z + k(k+3)/2 t_data (alpha+1) z."""
+        example = SteinerTreeExample(k=k, alpha=2.0, z=3.0)
+        expected = 1 * 3.0 + k * (k + 3) / 2 * (2.0 + 1) * 3.0
+        assert example.st1_energy() == pytest.approx(expected)
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 10, 50])
+    def test_eq7_matches_transmission_count(self, k):
+        example = SteinerTreeExample(k=k, alpha=2.0, z=3.0)
+        expected = 1 * 3.0 + 2 * k * (2.0 + 1) * 3.0
+        assert example.st2_energy() == pytest.approx(expected)
+
+    def test_deviation_grows_with_k(self):
+        """The communication deviation is (k+3)/4, unbounded in k."""
+        ratios = [SteinerTreeExample(k=k).deviation_ratio() for k in (1, 5, 20)]
+        assert ratios == sorted(ratios)
+        assert SteinerTreeExample(k=5).deviation_ratio() == pytest.approx(2.0)
+
+    def test_st2_never_worse(self):
+        for k in range(1, 30):
+            example = SteinerTreeExample(k=k)
+            assert example.st2_energy() <= example.st1_energy()
+
+    def test_equal_idle_cost_between_trees(self):
+        """Both trees keep exactly one relay awake (the 1 * t_idle term)."""
+        example = SteinerTreeExample(k=7)
+        idle1 = example.st1_energy() - (
+            example.k * (example.k + 3) / 2 * (example.alpha + 1) * example.z
+        )
+        idle2 = example.st2_energy() - (2 * example.k * (example.alpha + 1) * example.z)
+        assert idle1 == pytest.approx(idle2)
+
+    def test_instance_st2_solution_matches_eq7(self):
+        """Evaluating the star route set on the instance reproduces Eq. 7."""
+        example = SteinerTreeExample(k=4)
+        instance = example.instance()
+        solution = Solution(
+            {
+                demand: (demand.source, example.relay_j, example.sink)
+                for demand in instance.demands
+            }
+        )
+        assert instance.evaluate(solution) == pytest.approx(example.st2_energy())
+
+    def test_instance_st1_solution_matches_eq6(self):
+        """Evaluating the chain route set reproduces Eq. 6."""
+        example = SteinerTreeExample(k=4)
+        instance = example.instance()
+        paths = {}
+        for demand in instance.demands:
+            source = demand.source
+            chain = tuple(range(source, 0, -1))  # source, source-1, ..., 1
+            paths[demand] = chain + (example.relay_i, example.sink)
+        assert instance.evaluate(Solution(paths)) == pytest.approx(
+            example.st1_energy()
+        )
+
+    def test_brute_force_prefers_st2(self):
+        example = SteinerTreeExample(k=3)
+        instance = example.instance()
+        _, cost = instance.brute_force_optimum(max_path_length=4)
+        assert cost == pytest.approx(example.st2_energy())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SteinerTreeExample(k=0)
+
+
+class TestSteinerForestExample:
+    """Figs. 4–6 and Eqs. 8–9."""
+
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_eq8(self, k):
+        example = SteinerForestExample(k=k, alpha=1.5, z=2.0)
+        expected = k * 2.0 + 2 * k * (1.5 + 1) * 2.0
+        assert example.sf1_energy() == pytest.approx(expected)
+
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_eq9(self, k):
+        example = SteinerForestExample(k=k, alpha=1.5, z=2.0)
+        expected = 1 * 2.0 + 2 * k * (1.5 + 1) * 2.0
+        assert example.sf2_energy() == pytest.approx(expected)
+
+    def test_same_communication_cost(self):
+        """SF1 and SF2 differ only in relay idling."""
+        example = SteinerForestExample(k=6)
+        assert example.sf1_energy() - example.sf2_energy() == pytest.approx(
+            (example.k - 1) * example.t_idle * example.z
+        )
+
+    def test_endpoint_inclusive_ratio_bounded_by_3_over_2(self):
+        """3k/(2k+1) -> 3/2: the constant the paper derives."""
+        ratios = [
+            SteinerForestExample(k=k).endpoint_inclusive_ratio()
+            for k in (1, 10, 1000)
+        ]
+        assert all(r < 1.5 for r in ratios)
+        assert ratios[-1] == pytest.approx(1.5, abs=0.01)
+
+    def test_solutions_evaluate_to_equations(self):
+        example = SteinerForestExample(k=4)
+        instance = example.instance()
+        assert instance.evaluate(example.sf1_solution()) == pytest.approx(
+            example.sf1_energy()
+        )
+        assert instance.evaluate(example.sf2_solution()) == pytest.approx(
+            example.sf2_energy()
+        )
+
+    def test_brute_force_prefers_sf2(self):
+        example = SteinerForestExample(k=3)
+        instance = example.instance()
+        _, cost = instance.brute_force_optimum(max_path_length=2)
+        assert cost == pytest.approx(example.sf2_energy())
+
+
+class TestDesignInstance:
+    @pytest.fixture
+    def small_instance(self):
+        example = SteinerForestExample(k=2)
+        return example, example.instance()
+
+    def test_endpoint_costs_are_zero(self, small_instance):
+        """Definition 1: c(s_i) = c(d_i) = 0."""
+        example, instance = small_instance
+        assert instance.node_cost(example.source(1)) == 0.0
+        assert instance.node_cost(example.destination(1)) == 0.0
+        assert instance.node_cost(example.center) > 0.0
+
+    def test_validate_rejects_missing_path(self, small_instance):
+        _, instance = small_instance
+        with pytest.raises(ValueError, match="no path"):
+            instance.evaluate(Solution({}))
+
+    def test_validate_rejects_wrong_endpoints(self, small_instance):
+        example, instance = small_instance
+        demand = instance.demands[0]
+        bad = Solution({d: (d.source, example.center, d.destination)
+                        for d in instance.demands})
+        bad.paths[demand] = (example.center, demand.destination)
+        with pytest.raises(ValueError, match="does not connect"):
+            instance.evaluate(bad)
+
+    def test_validate_rejects_nonexistent_edge(self, small_instance):
+        example, instance = small_instance
+        demand = instance.demands[0]
+        solution = example.sf2_solution()
+        solution.paths[demand] = (demand.source, demand.destination)
+        with pytest.raises(ValueError, match="not in graph"):
+            instance.evaluate(solution)
+
+    def test_rate_weighting(self):
+        """Data cost scales with the demand rate."""
+        example = SteinerForestExample(k=1)
+        graph = example.graph()
+        heavy = DesignInstance(
+            graph, [Demand(example.source(1), example.destination(1), rate=3.0)]
+        )
+        light = DesignInstance(
+            graph, [Demand(example.source(1), example.destination(1), rate=1.0)]
+        )
+        path = (example.source(1), example.center, example.destination(1))
+        heavy_cost = heavy.evaluate(Solution({heavy.demands[0]: path}))
+        light_cost = light.evaluate(Solution({light.demands[0]: path}))
+        data_light = light_cost - 1.0  # one idle unit for the center
+        assert heavy_cost == pytest.approx(1.0 + 3.0 * data_light)
+
+    def test_solution_relays(self):
+        example = SteinerForestExample(k=2)
+        solution = example.sf2_solution()
+        assert solution.relays() == {example.center}

@@ -1,0 +1,161 @@
+"""Tests for experiment scenarios and runners."""
+
+import pytest
+
+from repro.core.radio import CABLETRON, HYPOTHETICAL_CABLETRON
+from repro.experiments.runner import (
+    frozen_route_goodput,
+    run_many,
+    run_single,
+    stabilize_routes,
+    sweep,
+)
+from repro.experiments.scenarios import (
+    FIELD_PROTOCOLS,
+    GRID_PROTOCOLS,
+    HIGH_RATES_KBPS,
+    density_network,
+    grid_network,
+    large_network,
+    small_network,
+)
+
+
+class TestScenarioPresets:
+    def test_small_network_matches_paper_parameters(self):
+        scenario = small_network(scale="paper")
+        assert scenario.node_count == 50
+        assert scenario.field_size == 500.0
+        assert scenario.flow_count == 10
+        assert scenario.rates_kbps == (2.0, 3.0, 4.0, 5.0, 6.0)
+        assert scenario.duration == 900.0
+        assert scenario.runs == 5
+        assert scenario.card is CABLETRON
+        assert scenario.start_window == (20.0, 25.0)
+
+    def test_large_network_matches_paper_parameters(self):
+        scenario = large_network(scale="paper")
+        assert scenario.node_count == 200
+        assert scenario.field_size == 1300.0
+        assert scenario.flow_count == 20
+        assert scenario.duration == 600.0
+        assert scenario.runs == 10
+
+    def test_density_networks(self):
+        for count in (300, 400):
+            scenario = density_network(count, scale="paper")
+            assert scenario.node_count == count
+            assert scenario.rates_kbps == (4.0,)
+            assert scenario.protocols == ("DSR-ODPM-PC", "TITAN-PC")
+        with pytest.raises(ValueError):
+            density_network(500)
+
+    def test_grid_network_matches_paper_parameters(self):
+        scenario = grid_network(scale="paper")
+        assert scenario.node_count == 49
+        assert scenario.field_size == 300.0
+        assert scenario.flow_count == 7
+        assert scenario.card is HYPOTHETICAL_CABLETRON
+        assert scenario.grid
+
+    def test_bench_scale_preserves_structure(self):
+        paper = small_network(scale="paper")
+        bench = small_network(scale="bench")
+        assert bench.node_count == paper.node_count
+        assert bench.field_size == paper.field_size
+        assert bench.rates_kbps == paper.rates_kbps
+        assert bench.duration < paper.duration
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            small_network(scale="gigantic")
+
+    def test_protocol_lists_cover_figures(self):
+        assert "TITAN-PC" in FIELD_PROTOCOLS
+        assert "DSDVH-ODPM" in FIELD_PROTOCOLS
+        assert "MTPR-ODPM" in GRID_PROTOCOLS
+        assert HIGH_RATES_KBPS[-1] == 200.0
+
+    def test_grid_placement_is_seed_independent(self):
+        scenario = grid_network(scale="smoke")
+        assert scenario.placement(1).positions == scenario.placement(2).positions
+
+    def test_random_placement_is_seed_dependent(self):
+        scenario = small_network(scale="smoke")
+        assert scenario.placement(1).positions != scenario.placement(2).positions
+
+    def test_grid_flows_left_to_right(self):
+        scenario = grid_network(scale="smoke")
+        flows = scenario.flows(seed=1, rate_kbps=2.0)
+        assert len(flows) == 7
+        assert flows[0].source == 0 and flows[0].destination == 6
+
+
+class TestRunners:
+    def test_run_single(self):
+        scenario = grid_network(scale="smoke")
+        result = run_single(scenario, "TITAN-PC", 2.0, seed=1)
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        assert result.e_network > 0.0
+
+    def test_run_many_aggregates(self):
+        scenario = grid_network(scale="smoke").scaled(duration=30.0, runs=2)
+        agg = run_many(scenario, "DSR-ODPM", 2.0)
+        assert agg.runs == 2
+        assert agg.delivery_ratio.n == 2
+
+    def test_sweep_covers_grid(self):
+        scenario = grid_network(scale="smoke")
+        grid = sweep(scenario, protocols=("DSR-ODPM",), rates_kbps=(2.0,))
+        assert set(grid) == {("DSR-ODPM", 2.0)}
+
+
+class TestFrozenRoutes:
+    def test_stabilize_extracts_all_flows(self):
+        scenario = grid_network(scale="smoke").scaled(duration=40.0, runs=1)
+        _, routes = stabilize_routes(scenario, "DSR-ODPM", seed=1)
+        assert len(routes) == 7
+        for flow_id, path in routes.items():
+            assert path[0] == flow_id * 7
+            assert path[-1] == flow_id * 7 + 6
+
+    def test_goodput_points_for_each_rate(self):
+        scenario = grid_network(scale="smoke").scaled(duration=40.0, runs=1)
+        points = frozen_route_goodput(
+            scenario, "TITAN-PC", (2.0, 50.0), "perfect", duration=50.0
+        )
+        assert [p.rate_kbps for p in points] == [2.0, 50.0]
+        assert all(p.energy_goodput > 0 for p in points)
+
+    def test_goodput_grows_with_rate_under_perfect_scheduling(self):
+        """Fixed per-packet cost, zero idle: goodput rises with rate
+        (sub-linearly), the Fig. 13 -> 15 trend."""
+        scenario = grid_network(scale="smoke").scaled(duration=40.0, runs=1)
+        points = frozen_route_goodput(
+            scenario, "DSR-ODPM", (2.0, 200.0), "perfect", duration=50.0
+        )
+        assert points[1].energy_goodput > points[0].energy_goodput
+
+    def test_odpm_scheduling_cheaper_for_titan_than_mtpr_at_low_rate(self):
+        """The Fig. 14 ordering: with idling charged, the few-relay protocol
+        wins at CBR rates."""
+        scenario = grid_network(scale="smoke").scaled(duration=40.0, runs=1)
+        titan = frozen_route_goodput(
+            scenario, "TITAN-PC", (4.0,), "odpm", duration=50.0
+        )[0]
+        mtpr = frozen_route_goodput(
+            scenario, "MTPR-ODPM", (4.0,), "odpm", duration=50.0
+        )[0]
+        assert titan.energy_goodput > mtpr.energy_goodput
+
+    def test_dsr_active_never_sleeps(self):
+        scenario = grid_network(scale="smoke").scaled(duration=40.0, runs=1)
+        point = frozen_route_goodput(
+            scenario, "DSR-Active", (4.0,), "perfect", duration=50.0
+        )[0]
+        titan = frozen_route_goodput(
+            scenario, "TITAN-PC", (4.0,), "perfect", duration=50.0
+        )[0]
+        # Always-on idling dwarfs everything: DSR-Active is far worse even
+        # under the "perfect" label (it ignores scheduling by definition).
+        assert point.energy_goodput < 0.25 * titan.energy_goodput

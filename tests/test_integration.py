@@ -1,0 +1,180 @@
+"""Cross-layer integration tests: full stacks on small networks.
+
+These exercise the invariants the paper's evaluation relies on: energy
+conservation (every second of every node's time is charged to exactly one
+radio state), end-to-end delivery across every protocol preset, and the
+qualitative protocol orderings of §5.2 at miniature scale.
+"""
+
+import pytest
+
+from repro.core.radio import CABLETRON, PowerMode
+from repro.net.topology import Placement
+from repro.sim.network import PROTOCOLS, NetworkConfig, WirelessNetwork
+from repro.traffic.flows import FlowSpec
+
+from tests.conftest import build_network, line_flow
+
+
+@pytest.fixture
+def mesh_placement():
+    """A 3x3 mesh, 120 m spacing: multi-hop with route diversity."""
+    positions = {
+        row * 3 + col: (120.0 * col, 120.0 * row)
+        for row in range(3)
+        for col in range(3)
+    }
+    return Placement(positions, width=240.0, height=240.0)
+
+
+def mesh_flows():
+    return [
+        FlowSpec(flow_id=0, source=0, destination=8, rate_bps=4000.0, start=2.0),
+        FlowSpec(flow_id=1, source=6, destination=2, rate_bps=4000.0, start=3.0),
+    ]
+
+
+class TestEveryProtocolDelivers:
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+    def test_delivery_on_mesh(self, mesh_placement, protocol):
+        duration = 60.0 if protocol.startswith("DSDV") else 30.0
+        net = build_network(mesh_placement, protocol, mesh_flows(),
+                            duration=duration)
+        result = net.run()
+        assert result.delivery_ratio > 0.75, protocol
+        assert result.e_network > 0.0
+
+
+class TestEnergyConservation:
+    @pytest.mark.parametrize(
+        "protocol", ["DSR-Active", "DSR-ODPM", "TITAN-PC", "DSDVH-ODPM"]
+    )
+    def test_state_time_sums_to_duration(self, mesh_placement, protocol):
+        """Every node's radio-state occupancy must sum to the horizon."""
+        duration = 20.0
+        net = build_network(mesh_placement, protocol, mesh_flows(),
+                            duration=duration)
+        net.run()
+        for node_id, node in net.nodes.items():
+            assert node.phy.energy.busy_time == pytest.approx(
+                duration, rel=1e-6
+            ), (protocol, node_id)
+
+    def test_network_energy_is_sum_of_nodes(self, mesh_placement):
+        net = build_network(mesh_placement, "TITAN-PC", mesh_flows(),
+                            duration=20.0)
+        result = net.run()
+        total = sum(n.phy.energy.total for n in net.nodes.values())
+        assert result.e_network == pytest.approx(total)
+
+    def test_sleep_occurs_only_under_power_saving(self, mesh_placement):
+        active = build_network(mesh_placement, "DSR-Active", mesh_flows(),
+                               duration=20.0)
+        active_result = active.run()
+        saving = build_network(mesh_placement, "DSR-ODPM", mesh_flows(),
+                               duration=20.0)
+        saving_result = saving.run()
+        assert active_result.energy_summary["sleep_energy"] == 0.0
+        assert saving_result.energy_summary["sleep_energy"] > 0.0
+
+
+class TestPaperOrderings:
+    """§5.2 qualitative results at miniature scale."""
+
+    def test_power_saving_beats_always_on(self, mesh_placement):
+        odpm = build_network(mesh_placement, "DSR-ODPM", mesh_flows(),
+                             duration=40.0).run()
+        always = build_network(mesh_placement, "DSR-Active", mesh_flows(),
+                               duration=40.0).run()
+        assert odpm.energy_goodput > 1.5 * always.energy_goodput
+
+    def test_power_control_reduces_transmit_energy(self, mesh_placement):
+        pc = build_network(mesh_placement, "DSR-ODPM-PC", mesh_flows(),
+                           duration=40.0).run()
+        nopc = build_network(mesh_placement, "DSR-ODPM", mesh_flows(),
+                             duration=40.0).run()
+        assert pc.transmit_energy < nopc.transmit_energy
+        # ...but barely moves total energy (idling dominates, Fig. 9/10).
+        assert pc.e_network == pytest.approx(nopc.e_network, rel=0.35)
+
+    def test_dsdvh_control_overhead_exceeds_reactive(self, mesh_placement):
+        dsdvh = build_network(mesh_placement, "DSDVH-ODPM", mesh_flows(),
+                              duration=40.0).run()
+        titan = build_network(mesh_placement, "TITAN-PC", mesh_flows(),
+                              duration=40.0).run()
+        assert dsdvh.control_packets > 2 * titan.control_packets
+
+    def test_titan_goodput_at_least_dsr_odpm(self, mesh_placement):
+        titan = build_network(mesh_placement, "TITAN-PC", mesh_flows(),
+                              duration=40.0).run()
+        dsdvh = build_network(mesh_placement, "DSDVH-ODPM", mesh_flows(),
+                              duration=40.0).run()
+        assert titan.energy_goodput > dsdvh.energy_goodput
+
+
+class TestOdpmDynamics:
+    def test_relays_return_to_psm_after_flow_stops(self, mesh_placement):
+        flows = [
+            FlowSpec(flow_id=0, source=0, destination=8, rate_bps=4000.0,
+                     start=2.0, stop=6.0),
+        ]
+        net = build_network(mesh_placement, "DSR-ODPM", flows, duration=30.0)
+        net.run()
+        # Keep-alives (10 s RREP / 5 s data) have expired by t=30.
+        for node in net.nodes.values():
+            assert node.power.mode is PowerMode.POWER_SAVE
+
+    def test_active_relays_while_flow_runs(self, mesh_placement):
+        flows = [
+            FlowSpec(flow_id=0, source=0, destination=8, rate_bps=4000.0,
+                     start=2.0),
+        ]
+        net = build_network(mesh_placement, "DSR-ODPM", flows, duration=15.0)
+        net.run()
+        routes = net.extract_routes()
+        assert 0 in routes
+        for node_id in routes[0]:
+            assert net.nodes[node_id].power.mode is PowerMode.ACTIVE
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, mesh_placement):
+        a = build_network(mesh_placement, "TITAN-PC", mesh_flows(),
+                          duration=20.0, seed=5).run()
+        b = build_network(mesh_placement, "TITAN-PC", mesh_flows(),
+                          duration=20.0, seed=5).run()
+        assert a.delivery_ratio == b.delivery_ratio
+        assert a.e_network == pytest.approx(b.e_network)
+        assert a.events_processed == b.events_processed
+
+    def test_different_seed_different_microstate(self, mesh_placement):
+        a = build_network(mesh_placement, "TITAN-PC", mesh_flows(),
+                          duration=20.0, seed=5).run()
+        b = build_network(mesh_placement, "TITAN-PC", mesh_flows(),
+                          duration=20.0, seed=6).run()
+        # Backoffs and jitters differ; event counts almost surely diverge.
+        assert a.events_processed != b.events_processed
+
+
+class TestNetworkConfigValidation:
+    def test_unknown_protocol(self, mesh_placement):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            NetworkConfig(
+                placement=mesh_placement, card=CABLETRON, protocol="OSPF",
+                flows=mesh_flows(), duration=10.0,
+            )
+
+    def test_unknown_flow_endpoint(self, mesh_placement):
+        bad = [FlowSpec(flow_id=0, source=0, destination=99, rate_bps=1.0)]
+        with pytest.raises(ValueError, match="unknown nodes"):
+            NetworkConfig(
+                placement=mesh_placement, card=CABLETRON,
+                protocol="DSR-Active", flows=bad, duration=10.0,
+            )
+
+    def test_nonpositive_duration(self, mesh_placement):
+        with pytest.raises(ValueError):
+            NetworkConfig(
+                placement=mesh_placement, card=CABLETRON,
+                protocol="DSR-Active", flows=mesh_flows(), duration=0.0,
+            )

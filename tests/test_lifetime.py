@@ -1,0 +1,175 @@
+"""Tests for the network lifetime extension (§6 future work)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.design_problem import Demand
+from repro.core.energy_model import NetworkEnergy
+from repro.core.heuristics import IdlingFirstDesign
+from repro.core.radio import CABLETRON, HYPOTHETICAL_CABLETRON
+from repro.metrics.lifetime import (
+    LifetimeReport,
+    lifetime_from_design,
+    lifetime_from_energy,
+    lifetime_from_run,
+    steady_state_power,
+)
+from repro.net.topology import Placement, connectivity_graph, grid_placement
+from repro.traffic.flows import FlowSpec
+
+from tests.conftest import build_network
+
+
+def two_node_energy(idle_seconds_a=10.0, idle_seconds_b=10.0):
+    energy = NetworkEnergy()
+    energy.add_node(0, CABLETRON).charge_idle(idle_seconds_a)
+    energy.add_node(1, CABLETRON).charge_idle(idle_seconds_b)
+    return energy
+
+
+def line_graph(n=2):
+    graph = nx.path_graph(n)
+    return graph
+
+
+class TestSteadyStatePower:
+    def test_average_power(self):
+        energy = two_node_energy(idle_seconds_a=10.0)
+        draw = steady_state_power(energy, duration=10.0)
+        assert draw[0] == pytest.approx(CABLETRON.p_idle)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            steady_state_power(two_node_energy(), 0.0)
+
+
+class TestLifetimeFromEnergy:
+    def test_first_death_is_battery_over_power(self):
+        energy = two_node_energy()
+        report = lifetime_from_energy(
+            energy, duration=10.0, graph=line_graph(),
+            demands=[(0, 1)], battery_joules=100.0,
+        )
+        expected = 100.0 / CABLETRON.p_idle
+        assert report.time_to_first_death == pytest.approx(expected)
+
+    def test_unequal_drain_order(self):
+        energy = NetworkEnergy()
+        energy.add_node(0, CABLETRON).charge_idle(10.0)   # heavy drain
+        energy.add_node(1, CABLETRON).charge_sleep(10.0)  # light drain
+        report = lifetime_from_energy(
+            energy, duration=10.0, graph=line_graph(),
+            demands=[(0, 1)], battery_joules=100.0,
+        )
+        assert report.death_times[0] < report.death_times[1]
+
+    def test_partition_when_endpoint_dies(self):
+        energy = two_node_energy()
+        report = lifetime_from_energy(
+            energy, duration=10.0, graph=line_graph(),
+            demands=[(0, 1)], battery_joules=50.0,
+        )
+        # An endpoint dying partitions the demand immediately.
+        assert report.time_to_partition == pytest.approx(
+            report.time_to_first_death
+        )
+
+    def test_partition_when_relay_dies(self):
+        """In a 3-node line, the middle relay's death partitions 0 -> 2."""
+        energy = NetworkEnergy()
+        energy.add_node(0, CABLETRON).charge_sleep(10.0)
+        energy.add_node(1, CABLETRON).charge_idle(10.0)  # relay, heavy drain
+        energy.add_node(2, CABLETRON).charge_sleep(10.0)
+        report = lifetime_from_energy(
+            energy, duration=10.0, graph=line_graph(3),
+            demands=[(0, 2)], battery_joules=100.0,
+        )
+        assert report.time_to_partition == pytest.approx(
+            report.death_times[1]
+        )
+
+    def test_zero_draw_lives_forever(self):
+        energy = NetworkEnergy()
+        energy.add_node(0, CABLETRON)  # no charges at all
+        energy.add_node(1, CABLETRON).charge_idle(10.0)
+        report = lifetime_from_energy(
+            energy, duration=10.0, graph=line_graph(),
+            demands=[], battery_joules=100.0,
+        )
+        assert math.isinf(report.death_times[0])
+
+    def test_per_node_batteries(self):
+        energy = two_node_energy()
+        report = lifetime_from_energy(
+            energy, duration=10.0, graph=line_graph(),
+            demands=[(0, 1)], battery_joules={0: 50.0, 1: 200.0},
+        )
+        assert report.death_times[0] < report.death_times[1]
+
+
+class TestSurvivalCurve:
+    def test_monotone_decreasing(self):
+        energy = NetworkEnergy()
+        for node_id, seconds in ((0, 2.0), (1, 5.0), (2, 10.0)):
+            energy.add_node(node_id, CABLETRON).charge_idle(seconds)
+        report = lifetime_from_energy(
+            energy, duration=10.0, graph=line_graph(3),
+            demands=[], battery_joules=100.0,
+        )
+        curve = report.survival_curve(points=10)
+        fractions = [fraction for _, fraction in curve]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] == 1.0
+
+    def test_alive_fraction_bounds(self):
+        report = LifetimeReport(
+            death_times={0: 10.0, 1: 20.0},
+            time_to_first_death=10.0,
+            time_to_partition=None,
+            horizon=20.0,
+        )
+        assert report.alive_fraction(0.0) == 1.0
+        assert report.alive_fraction(15.0) == 0.5
+        assert report.alive_fraction(25.0) == 0.0
+
+    def test_minimum_points(self):
+        report = LifetimeReport({}, 1.0, None, 1.0)
+        with pytest.raises(ValueError):
+            report.survival_curve(points=1)
+
+
+class TestLifetimeFromRun:
+    def test_simulated_lifetime_is_finite_and_ordered(self):
+        placement = Placement(
+            {0: (0.0, 0.0), 1: (100.0, 0.0), 2: (200.0, 0.0)}, 200.0, 1.0
+        )
+        flows = [FlowSpec(flow_id=0, source=0, destination=2,
+                          rate_bps=4000.0, start=1.0)]
+        active = build_network(placement, "DSR-Active", flows, duration=20.0)
+        active.run()
+        saving = build_network(placement, "DSR-ODPM", flows, duration=20.0)
+        saving.run()
+        active_report = lifetime_from_run(active, battery_joules=1000.0)
+        saving_report = lifetime_from_run(saving, battery_joules=1000.0)
+        assert math.isfinite(active_report.time_to_first_death)
+        # Power saving extends the first-death lifetime.
+        assert (
+            saving_report.time_to_first_death
+            > active_report.time_to_first_death
+        )
+
+
+class TestLifetimeFromDesign:
+    def test_design_lifetime(self):
+        placement = grid_placement(5, 200.0, 200.0)
+        graph = connectivity_graph(placement, 120.0, HYPOTHETICAL_CABLETRON)
+        demands = [Demand(0, 24, rate=4000.0)]
+        heuristic = IdlingFirstDesign(graph, HYPOTHETICAL_CABLETRON, demands)
+        design = heuristic.design()
+        report = lifetime_from_design(
+            heuristic, design, graph, duration=30.0, battery_joules=5000.0
+        )
+        assert report.time_to_first_death > 0.0
+        assert math.isfinite(report.time_to_first_death)

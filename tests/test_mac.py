@@ -1,0 +1,222 @@
+"""Tests for the CSMA/CA MAC: handshakes, retries, PSM gating."""
+
+import pytest
+
+from repro.core.energy_model import NodeEnergy
+from repro.core.radio import CABLETRON
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.mac import Mac
+from repro.sim.packet import BROADCAST, PacketKind, make_data_packet, Packet
+from repro.sim.phy import Phy
+
+
+def build_macs(positions, max_range=250.0, rts=True):
+    sim = Simulator(seed=5)
+    channel = Channel(sim, positions, max_range=max_range)
+    macs = {}
+    for node_id in positions:
+        phy = Phy(sim, channel, node_id, CABLETRON, NodeEnergy(card=CABLETRON))
+        macs[node_id] = Mac(sim, phy, rts_enabled=rts)
+    return sim, channel, macs
+
+
+class TestUnicast:
+    def test_data_delivered_and_acked(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)})
+        delivered = []
+        macs[1].on_deliver = lambda p: delivered.append(p)
+        frame = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        macs[0].send(frame)
+        sim.run()
+        assert [p.uid for p in delivered] == [frame.uid]
+        assert macs[0].stats.sent_unicast == 1
+        assert macs[0].stats.drops == 0
+
+    def test_rts_cts_precedes_data_when_enabled(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)}, rts=True)
+        kinds = []
+        original = macs[1].phy.on_receive
+        macs[1].phy.on_receive = lambda p: (kinds.append(p.kind), original(p))
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        sim.run()
+        assert kinds[0] is PacketKind.RTS
+        assert PacketKind.DATA in kinds
+
+    def test_no_rts_when_disabled(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)}, rts=False)
+        kinds = []
+        original = macs[1].phy.on_receive
+        macs[1].phy.on_receive = lambda p: (kinds.append(p.kind), original(p))
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        sim.run()
+        assert PacketKind.RTS not in kinds
+        assert PacketKind.DATA in kinds
+
+    def test_queue_drains_in_order(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)})
+        seqnos = []
+        macs[1].on_deliver = lambda p: seqnos.append(p.seqno)
+        for seqno in range(5):
+            macs[0].send(
+                make_data_packet(origin=0, final_dst=1, src=0, dst=1, seqno=seqno)
+            )
+        sim.run()
+        assert seqnos == [0, 1, 2, 3, 4]
+
+    def test_send_rejects_foreign_src(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)})
+        with pytest.raises(ValueError):
+            macs[0].send(make_data_packet(origin=1, final_dst=0, src=1, dst=0))
+
+
+class TestRetriesAndFailure:
+    def test_unreachable_destination_reports_link_failure(self):
+        """Node 9 does not exist: retries exhaust, routing is notified."""
+        sim, channel, macs = build_macs({0: (0, 0), 1: (500, 0)})
+        failures = []
+        macs[0].on_link_failure = lambda dst, p: failures.append(dst)
+        frame = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        macs[0].send(frame)  # 500 m > 250 m range: nobody answers
+        sim.run()
+        assert failures == [1]
+        assert macs[0].stats.drops == 1
+        assert macs[0].stats.retries == macs[0].retry_limit
+
+    def test_queue_continues_after_drop(self):
+        sim, channel, macs = build_macs(
+            {0: (0, 0), 1: (500, 0), 2: (100, 0)}
+        )
+        delivered = []
+        macs[2].on_deliver = lambda p: delivered.append(p.dst)
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        macs[0].send(make_data_packet(origin=0, final_dst=2, src=0, dst=2))
+        sim.run()
+        assert delivered == [2]
+
+    def test_hidden_terminal_eventually_delivers_via_retries(self):
+        """0 and 2 cannot hear each other; both send to 1."""
+        sim, channel, macs = build_macs(
+            {0: (0, 0), 1: (200, 0), 2: (400, 0)}, max_range=250.0
+        )
+        delivered = []
+        macs[1].on_deliver = lambda p: delivered.append(p.src)
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        macs[2].send(make_data_packet(origin=2, final_dst=1, src=2, dst=1))
+        sim.run()
+        assert sorted(delivered) == [0, 2]
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_neighbors(self):
+        sim, channel, macs = build_macs(
+            {0: (0, 0), 1: (100, 0), 2: (200, 0), 3: (600, 0)}
+        )
+        heard = []
+        for node_id in (1, 2, 3):
+            macs[node_id].on_deliver = lambda p, n=node_id: heard.append(n)
+        frame = Packet(
+            kind=PacketKind.ROUTING, src=0, dst=BROADCAST, size_bytes=40
+        )
+        macs[0].send(frame)
+        sim.run()
+        assert sorted(heard) == [1, 2]  # node 3 out of range
+
+    def test_broadcast_not_acked_or_retried(self):
+        sim, channel, macs = build_macs({0: (0, 0)})
+        frame = Packet(
+            kind=PacketKind.ROUTING, src=0, dst=BROADCAST, size_bytes=40
+        )
+        macs[0].send(frame)
+        sim.run()
+        assert macs[0].stats.sent_broadcast == 1
+        assert macs[0].stats.retries == 0
+
+    def test_broadcast_gating_oracle(self):
+        """Broadcasts wait while broadcast_clear is False."""
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)})
+        gate = {"open": False}
+        macs[0].broadcast_clear = lambda: gate["open"]
+        heard = []
+        macs[1].on_deliver = lambda p: heard.append(p)
+        frame = Packet(
+            kind=PacketKind.ROUTING, src=0, dst=BROADCAST, size_bytes=40
+        )
+        macs[0].send(frame)
+        sim.run(until=1.0)
+        assert heard == []
+        gate["open"] = True
+        macs[0].kick()
+        sim.run()
+        assert len(heard) == 1
+
+
+class TestPsmGating:
+    def test_unicast_held_until_peer_awake(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)})
+        awake = {"val": False}
+        macs[0].peer_awake = lambda dst: awake["val"]
+        delivered = []
+        macs[1].on_deliver = lambda p: delivered.append(p)
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        sim.run(until=1.0)
+        assert delivered == []
+        awake["val"] = True
+        macs[0].kick()
+        sim.run()
+        assert len(delivered) == 1
+
+    def test_no_head_of_line_blocking(self):
+        """A held frame must not block traffic to awake destinations."""
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0), 2: (150, 0)})
+        macs[0].peer_awake = lambda dst: dst != 1
+        delivered = []
+        macs[2].on_deliver = lambda p: delivered.append(p.dst)
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        macs[0].send(make_data_packet(origin=0, final_dst=2, src=0, dst=2))
+        sim.run(until=1.0)
+        assert delivered == [2]
+
+    def test_pending_destinations_reported(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0), 2: (150, 0)})
+        macs[0].peer_awake = lambda dst: False
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        macs[0].send(make_data_packet(origin=0, final_dst=2, src=0, dst=2))
+        assert macs[0].pending_unicast_destinations() == {1, 2}
+
+    def test_has_pending_broadcast(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)})
+        macs[0].broadcast_clear = lambda: False
+        assert not macs[0].has_pending_broadcast()
+        macs[0].send(
+            Packet(kind=PacketKind.ROUTING, src=0, dst=BROADCAST, size_bytes=40)
+        )
+        sim.run(until=0.5)
+        assert macs[0].has_pending_broadcast()
+
+    def test_sleeping_sender_defers(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)})
+        macs[0].phy.sleep()
+        delivered = []
+        macs[1].on_deliver = lambda p: delivered.append(p)
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        sim.run(until=1.0)
+        assert delivered == []
+        macs[0].phy.wake()
+        macs[0].kick()
+        sim.run()
+        assert len(delivered) == 1
+
+
+class TestEnergyAccounting:
+    def test_sender_charges_tx_receiver_charges_rx(self):
+        sim, channel, macs = build_macs({0: (0, 0), 1: (100, 0)}, rts=False)
+        macs[0].send(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        sim.run()
+        for mac in macs.values():
+            mac.phy.finalize()
+        assert macs[0].phy.energy.data_tx > 0
+        assert macs[1].phy.energy.data_rx > 0
+        # The ACK is control traffic in both directions.
+        assert macs[1].phy.energy.control_tx > 0
+        assert macs[0].phy.energy.control_rx > 0

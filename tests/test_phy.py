@@ -1,0 +1,191 @@
+"""Tests for the radio state machine: energy integration, collisions, sleep."""
+
+import pytest
+
+from repro.core.energy_model import NodeEnergy
+from repro.core.radio import CABLETRON, RadioState
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.packet import BROADCAST, PacketKind, make_control_packet, make_data_packet
+
+
+def build(positions, max_range=250.0):
+    sim = Simulator()
+    channel = Channel(sim, positions, max_range=max_range)
+    from repro.sim.phy import Phy
+
+    phys = {
+        node_id: Phy(sim, channel, node_id, CABLETRON, NodeEnergy(card=CABLETRON))
+        for node_id in positions
+    }
+    return sim, channel, phys
+
+
+class TestEnergyIntegration:
+    def test_idle_energy_charged_on_finalize(self):
+        sim, channel, phys = build({0: (0, 0)})
+        sim.run(until=10.0)
+        phys[0].finalize()
+        assert phys[0].energy.idle == pytest.approx(10.0 * CABLETRON.p_idle)
+
+    def test_transmit_energy_with_power_control(self):
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0)})
+        frame = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        duration = phys[0].transmit(frame, distance=100.0)
+        sim.run()
+        phys[0].finalize()
+        assert phys[0].energy.data_tx == pytest.approx(
+            duration * CABLETRON.transmit_power(100.0)
+        )
+
+    def test_control_transmit_at_max_power(self):
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0)})
+        frame = make_control_packet(PacketKind.RTS, src=0, dst=1)
+        duration = phys[0].transmit(frame, distance=10.0)  # distance ignored
+        sim.run()
+        phys[0].finalize()
+        assert phys[0].energy.control_tx == pytest.approx(
+            duration * CABLETRON.p_tx_max
+        )
+
+    def test_receive_energy_charged(self):
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0)})
+        frame = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        duration = phys[0].transmit(frame)
+        sim.run()
+        phys[1].finalize()
+        assert phys[1].energy.data_rx == pytest.approx(duration * CABLETRON.p_rx)
+
+    def test_sleep_energy(self):
+        sim, channel, phys = build({0: (0, 0)})
+        phys[0].sleep()
+        sim.run(until=100.0)
+        phys[0].finalize()
+        assert phys[0].energy.sleep == pytest.approx(100.0 * CABLETRON.p_sleep)
+        assert phys[0].energy.idle == 0.0
+
+    def test_state_time_conservation(self):
+        """Total accounted time equals simulated time."""
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0)})
+        frame = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        phys[0].transmit(frame)
+        sim.run(until=5.0)
+        for phy in phys.values():
+            phy.finalize()
+            assert phy.energy.busy_time == pytest.approx(5.0)
+
+    def test_wake_charges_switch_energy(self):
+        from dataclasses import replace
+
+        card = replace(CABLETRON, switch_energy=0.001)
+        sim = Simulator()
+        channel = Channel(sim, {0: (0, 0)}, max_range=250.0)
+        from repro.sim.phy import Phy
+
+        phy = Phy(sim, channel, 0, card, NodeEnergy(card=card))
+        phy.sleep()
+        phy.wake()
+        assert phy.energy.switch == pytest.approx(0.001)
+
+
+class TestSleepSemantics:
+    def test_sleeping_radio_misses_frames(self):
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0)})
+        received = []
+        phys[1].on_receive = lambda p: received.append(p)
+        phys[1].sleep()
+        phys[0].transmit(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        sim.run()
+        assert received == []
+
+    def test_sleep_mid_reception_loses_frame(self):
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0)})
+        received = []
+        phys[1].on_receive = lambda p: received.append(p)
+        frame = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        duration = phys[0].transmit(frame)
+        sim.schedule(duration / 2, phys[1].sleep)
+        sim.run()
+        assert received == []
+
+    def test_cannot_transmit_while_asleep(self):
+        sim, channel, phys = build({0: (0, 0)})
+        phys[0].sleep()
+        with pytest.raises(RuntimeError):
+            phys[0].transmit(
+                make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+            )
+
+    def test_cannot_sleep_while_transmitting(self):
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0)})
+        phys[0].transmit(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        with pytest.raises(RuntimeError):
+            phys[0].sleep()
+
+    def test_wake_is_idempotent(self):
+        sim, channel, phys = build({0: (0, 0)})
+        phys[0].sleep()
+        phys[0].wake()
+        phys[0].wake()
+        assert phys[0].state is RadioState.IDLE
+
+
+class TestCollisions:
+    def test_overlapping_frames_collide(self):
+        """Hidden terminal: 0 and 2 both reach 1 but not each other."""
+        sim, channel, phys = build(
+            {0: (0, 0), 1: (200, 0), 2: (400, 0)}, max_range=250.0
+        )
+        received = []
+        phys[1].on_receive = lambda p: received.append(p)
+        phys[0].transmit(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        phys[2].transmit(make_data_packet(origin=2, final_dst=1, src=2, dst=1))
+        sim.run()
+        assert received == []
+        assert phys[1].frames_collided >= 1
+
+    def test_sequential_frames_do_not_collide(self):
+        sim, channel, phys = build({0: (0, 0), 1: (200, 0), 2: (400, 0)})
+        received = []
+        phys[1].on_receive = lambda p: received.append(p.src)
+        first = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        duration = first.size_bits / CABLETRON.bandwidth
+        phys[0].transmit(first)
+        sim.schedule(
+            duration * 2,
+            lambda: phys[2].transmit(
+                make_data_packet(origin=2, final_dst=1, src=2, dst=1)
+            ),
+        )
+        sim.run()
+        assert received == [0, 2]
+
+    def test_transmitting_radio_misses_incoming(self):
+        """Half duplex: a sender cannot hear a concurrent frame."""
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0)})
+        received = []
+        phys[0].on_receive = lambda p: received.append(p)
+        phys[0].transmit(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        phys[1].transmit(make_data_packet(origin=1, final_dst=0, src=1, dst=0))
+        sim.run()
+        assert received == []
+
+    def test_carrier_busy_during_overheard_frame(self):
+        sim, channel, phys = build({0: (0, 0), 1: (100, 0), 2: (150, 0)})
+        frame = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        phys[0].transmit(frame)
+        # Immediately after transmission starts, node 2 overhears it.
+        assert phys[2].carrier_busy
+        sim.run()
+        assert not phys[2].carrier_busy
+
+    def test_collision_counts_as_receive_energy_not_delivery(self):
+        sim, channel, phys = build(
+            {0: (0, 0), 1: (200, 0), 2: (400, 0)}, max_range=250.0
+        )
+        phys[0].transmit(make_data_packet(origin=0, final_dst=1, src=0, dst=1))
+        phys[2].transmit(make_data_packet(origin=2, final_dst=1, src=2, dst=1))
+        sim.run()
+        phys[1].finalize()
+        assert phys[1].frames_received == 0
+        assert phys[1].energy.data_rx > 0  # the radio was occupied regardless

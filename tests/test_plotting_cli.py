@@ -1,0 +1,111 @@
+"""Tests for the ASCII plot renderer and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.metrics.plotting import AsciiPlot, figure_from_sweep
+
+
+class TestAsciiPlot:
+    def test_renders_title_axes_and_legend(self):
+        plot = AsciiPlot(title="My Figure", xlabel="x", ylabel="y")
+        plot.add_series("alpha", [0, 1, 2], [0, 1, 4])
+        output = plot.render()
+        assert "My Figure" in output
+        assert "alpha" in output
+        assert "legend" in output
+        assert "y: y" in output
+
+    def test_marker_cycle(self):
+        plot = AsciiPlot()
+        for i in range(3):
+            plot.add_series("s%d" % i, [0, 1], [i, i + 1])
+        markers = [s.marker for s in plot.series]
+        assert len(set(markers)) == 3
+
+    def test_extreme_points_on_grid(self):
+        plot = AsciiPlot(width=40, height=10)
+        plot.add_series("s", [0, 10], [0, 100])
+        output = plot.render()
+        # The y-axis range is padded by 5%: top label is 105, bottom -5.
+        assert "105" in output
+        assert "-5" in output
+        assert "10" in output.splitlines()[-3]  # x-max label row
+
+    def test_flat_series_handled(self):
+        plot = AsciiPlot()
+        plot.add_series("flat", [0, 1, 2], [5, 5, 5])
+        assert "flat" in plot.render()
+
+    def test_single_point_series(self):
+        plot = AsciiPlot()
+        plot.add_series("dot", [1], [1])
+        assert "dot" in plot.render()
+
+    def test_mismatched_lengths_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError):
+            plot.add_series("bad", [1, 2], [1])
+
+    def test_empty_series_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError):
+            plot.add_series("bad", [], [])
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiPlot().render()
+
+    def test_figure_from_sweep(self):
+        output = figure_from_sweep(
+            "Fig", "rate", "goodput", [2.0, 4.0],
+            {"TITAN-PC": [1.0, 2.0], "DSR": [0.5, 1.0]},
+        )
+        assert "TITAN-PC" in output
+        assert "Fig" in output
+
+
+class TestCli:
+    def test_parser_lists_all_artifacts(self):
+        parser = build_parser()
+        commands = parser._subparsers._group_actions[0].choices
+        for name in ("table1", "table2", "run", "lifetime"):
+            assert name in commands
+        for fig in (7, 8, 9, 10, 11, 12, 13, 14, 15, 16):
+            assert "fig%d" % fig in commands
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Cabletron" in out
+        assert "1350" in out  # Aironet idle power in mW
+
+    def test_fig7_renders_plot(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Hypothetical Cabletron" in out
+        assert "legend" in out
+
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--protocol", "DSR-ODPM", "--nodes", "12",
+            "--duration", "15", "--rate", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivery ratio" in out
+        assert "energy goodput" in out
+
+    def test_lifetime_command(self, capsys):
+        code = main([
+            "lifetime", "--protocol", "DSR-ODPM", "--nodes", "12",
+            "--duration", "15",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time to first death" in out
+        assert "survival curve" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure-999"])

@@ -1,0 +1,102 @@
+"""Remaining edge cases: proactive data path, MAC response staleness."""
+
+import pytest
+
+from repro.core.radio import CABLETRON, PowerMode
+from repro.net.topology import Placement
+from repro.routing.proactive import DsdvUpdate, UpdateEntry
+from repro.sim.packet import PacketKind, make_data_packet
+from repro.traffic.flows import FlowSpec
+
+from tests.conftest import build_network
+
+
+@pytest.fixture
+def triangle_placement():
+    return Placement(
+        {0: (0.0, 0.0), 1: (200.0, 0.0), 2: (100.0, 100.0)}, 200.0, 100.0
+    )
+
+
+class TestProactiveDataPath:
+    def test_originated_data_buffered_until_route_appears(
+        self, triangle_placement
+    ):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=2000.0, start=20.0)]
+        net = build_network(triangle_placement, "DSDV-ODPM", flows,
+                            duration=1.0)
+        routing = net.nodes[0].routing
+        packet = make_data_packet(origin=0, final_dst=1, src=0, dst=0,
+                                  flow_id=0, seqno=0)
+        routing.originate_data(packet)
+        assert routing.buffer.pending(1) == 1
+        # A route arrives: the buffer drains immediately.
+        routing._on_update(DsdvUpdate(
+            sender=1, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=1, metric=0.0, seqno=2),),
+            full_dump=True,
+        ))
+        assert routing.buffer.pending(1) == 0
+
+    def test_relay_without_route_drops_and_counts(self, triangle_placement):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=2000.0, start=20.0)]
+        net = build_network(triangle_placement, "DSDV-ODPM", flows,
+                            duration=1.0)
+        relay_routing = net.nodes[2].routing
+        # A data frame arrives for a destination the relay cannot reach.
+        packet = make_data_packet(origin=0, final_dst=99, src=0, dst=2)
+        relay_routing.on_frame(packet)
+        assert relay_routing.stats.data_dropped_no_route == 1
+
+    def test_route_to_reports_none_for_unknown(self, triangle_placement):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=2000.0, start=20.0)]
+        net = build_network(triangle_placement, "DSDV-ODPM", flows,
+                            duration=1.0)
+        assert net.nodes[0].routing.route_to(42) is None
+
+
+class TestMacResponseStaleness:
+    def test_stale_control_response_discarded(self, triangle_placement):
+        """A CTS/ACK that cannot be sent promptly is useless and dropped."""
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=2000.0, start=50.0)]
+        net = build_network(triangle_placement, "DSR-Active", flows,
+                            duration=1.0)
+        mac = net.nodes[0].mac
+        ack = __import__(
+            "repro.sim.packet", fromlist=["make_control_packet"]
+        ).make_control_packet(PacketKind.ACK, src=0, dst=1)
+        mac._respond(ack)
+        # Freeze the radio in a fake busy state: force a long transmission
+        # addressed to a nonexistent peer so nobody processes it.
+        net.nodes[0].phy.transmit(
+            make_data_packet(origin=0, final_dst=99, src=0, dst=99,
+                             payload_bytes=1400)
+        )
+        net.sim.run(until=0.5)
+        # The response queue must be empty: either sent or discarded stale.
+        assert not mac._response_queue
+
+
+class TestExtractRoutesProactive:
+    def test_loop_in_tables_returns_no_route(self, triangle_placement):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=2000.0, start=20.0)]
+        net = build_network(triangle_placement, "DSDV-ODPM", flows,
+                            duration=1.0)
+        # Manufacture a two-node routing loop: 0 -> 2 -> 0 -> ...
+        net.nodes[0].routing._on_update(DsdvUpdate(
+            sender=2, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=1, metric=1.0, seqno=2),),
+            full_dump=True,
+        ))
+        net.nodes[2].routing._on_update(DsdvUpdate(
+            sender=0, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=1, metric=1.0, seqno=2),),
+            full_dump=True,
+        ))
+        routes = net.extract_routes()
+        assert 0 not in routes  # transient loop detected, not returned

@@ -1,0 +1,256 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytical import (
+    characteristic_hop_count,
+    minimum_alpha2_for_relaying,
+    optimal_hop_count,
+    route_energy,
+)
+from repro.core.design_problem import SteinerForestExample, SteinerTreeExample
+from repro.core.energy_model import NodeEnergy
+from repro.core.radio import CABLETRON, RadioModel
+from repro.metrics.stats import mean_ci
+from repro.net.steiner import kmb_steiner_tree
+from repro.routing.base import RouteCache
+from repro.sim.engine import Simulator
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+cards = st.builds(
+    RadioModel,
+    name=st.just("gen"),
+    p_idle=st.floats(0.001, 2.0),
+    p_rx=st.floats(0.001, 2.0),
+    p_base=st.floats(0.001, 3.0),
+    alpha2=st.floats(1e-12, 1e-6),
+    path_loss_exponent=st.sampled_from([2.0, 3.0, 4.0]),
+    max_range=st.floats(10.0, 500.0),
+)
+
+utilizations = st.floats(0.01, 0.5)
+distances = st.floats(1.0, 1000.0)
+
+
+class TestAnalyticalProperties:
+    @given(card=cards, distance=distances, utilization=utilizations)
+    @settings(max_examples=200)
+    def test_mopt_nonnegative_and_finite(self, card, distance, utilization):
+        m = optimal_hop_count(card, distance, utilization)
+        assert m >= 0.0
+        assert math.isfinite(m)
+
+    @given(card=cards, distance=distances, utilization=utilizations)
+    @settings(max_examples=200)
+    def test_characteristic_hop_count_at_least_one(
+        self, card, distance, utilization
+    ):
+        assert characteristic_hop_count(card, distance, utilization) >= 1
+
+    @given(card=cards, distance=distances, utilization=utilizations)
+    @settings(max_examples=100)
+    def test_mopt_scales_linearly_with_distance(self, card, distance, utilization):
+        m1 = optimal_hop_count(card, distance, utilization)
+        m2 = optimal_hop_count(card, 2 * distance, utilization)
+        assert m2 == pytest.approx(2 * m1, rel=1e-9)
+
+    @given(card=cards, distance=distances, utilization=utilizations)
+    @settings(max_examples=100)
+    def test_minimum_alpha2_inversion(self, card, distance, utilization):
+        """Eq. 15 and its inversion agree at the threshold."""
+        alpha2 = minimum_alpha2_for_relaying(card, distance, utilization, 2)
+        threshold_card = card.with_alpha2(alpha2)
+        m = optimal_hop_count(threshold_card, distance, utilization)
+        assert m == pytest.approx(2.0, rel=1e-9)
+
+    @given(
+        card=cards,
+        distance=st.floats(10.0, 500.0),
+        utilization=utilizations,
+        duration=st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=100)
+    def test_route_energy_positive_and_monotone_in_duration(
+        self, card, distance, utilization, duration
+    ):
+        e1 = route_energy(card, distance, 2, utilization, duration)
+        e2 = route_energy(card, distance, 2, utilization, 2 * duration)
+        assert e1 > 0
+        assert e2 == pytest.approx(2 * e1, rel=1e-9)
+
+
+class TestEnergyLedgerProperties:
+    @given(
+        charges=st.lists(
+            st.tuples(
+                st.sampled_from(["idle", "sleep", "data_rx", "control_rx"]),
+                st.floats(0.0, 100.0),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100)
+    def test_total_is_sum_of_parts_and_nonnegative(self, charges):
+        ledger = NodeEnergy(card=CABLETRON)
+        for kind, duration in charges:
+            getattr(ledger, "charge_" + kind)(duration)
+        assert ledger.total >= 0.0
+        assert ledger.total == pytest.approx(
+            ledger.e_comm + ledger.e_passive
+        )
+        assert ledger.e_passive == pytest.approx(
+            ledger.idle + ledger.sleep + ledger.switch
+        )
+
+    @given(durations=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_charging_is_additive(self, durations):
+        one_shot = NodeEnergy(card=CABLETRON)
+        one_shot.charge_idle(sum(durations))
+        split = NodeEnergy(card=CABLETRON)
+        for d in durations:
+            split.charge_idle(d)
+        assert split.idle == pytest.approx(one_shot.idle, rel=1e-9)
+
+
+class TestExampleProperties:
+    @given(k=st.integers(1, 60), alpha=st.floats(0.1, 10.0), z=st.floats(0.1, 10.0))
+    @settings(max_examples=100)
+    def test_st2_never_exceeds_st1(self, k, alpha, z):
+        example = SteinerTreeExample(k=k, alpha=alpha, z=z)
+        assert example.st2_energy() <= example.st1_energy()
+
+    @given(k=st.integers(1, 60), alpha=st.floats(0.1, 10.0), z=st.floats(0.1, 10.0))
+    @settings(max_examples=100)
+    def test_sf2_never_exceeds_sf1(self, k, alpha, z):
+        example = SteinerForestExample(k=k, alpha=alpha, z=z)
+        assert example.sf2_energy() <= example.sf1_energy()
+        assert example.endpoint_inclusive_ratio() < 1.5
+
+    @given(k=st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_instance_consistency(self, k):
+        """Graph-evaluated solutions always match the closed forms."""
+        example = SteinerForestExample(k=k)
+        instance = example.instance()
+        assert instance.evaluate(example.sf1_solution()) == pytest.approx(
+            example.sf1_energy()
+        )
+        assert instance.evaluate(example.sf2_solution()) == pytest.approx(
+            example.sf2_energy()
+        )
+
+
+class TestEngineProperties:
+    @given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=30),
+        cancel_index=st.integers(0, 29),
+    )
+    @settings(max_examples=100)
+    def test_cancellation_removes_exactly_one(self, delays, cancel_index):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(delay, lambda i=i: fired.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        cancel_index %= len(handles)
+        handles[cancel_index].cancel()
+        sim.run()
+        assert len(fired) == len(delays) - 1
+        assert cancel_index not in fired
+
+
+class TestSteinerProperties:
+    @given(
+        n=st.integers(4, 12),
+        seed=st.integers(0, 1000),
+        terminal_count=st.integers(2, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_kmb_tree_spans_terminals_on_random_graphs(
+        self, n, seed, terminal_count
+    ):
+        import random as _random
+
+        rng = _random.Random(seed)
+        graph = nx.connected_watts_strogatz_graph(n, k=3, p=0.3, seed=seed)
+        for u, v in graph.edges:
+            graph.edges[u, v]["weight"] = rng.uniform(0.1, 10.0)
+        terminals = rng.sample(list(graph.nodes), min(terminal_count, n))
+        tree = kmb_steiner_tree(graph, terminals)
+        assert nx.is_tree(tree) or tree.number_of_nodes() == 1
+        for terminal in terminals:
+            assert terminal in tree.nodes
+        leaves = [x for x in tree.nodes if tree.degree(x) == 1]
+        assert set(leaves) <= set(terminals) | (
+            {list(tree.nodes)[0]} if tree.number_of_nodes() == 1 else set()
+        )
+
+
+class TestRouteCacheProperties:
+    @given(
+        offers=st.lists(
+            st.tuples(
+                st.integers(1, 5),     # destination
+                st.integers(2, 6),     # path length
+                st.floats(0.0, 100.0), # cost
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_cache_keeps_cheapest_route(self, offers):
+        sim = Simulator()
+        cache = RouteCache(sim)
+        best: dict[int, float] = {}
+        for destination, length, cost in offers:
+            path = tuple(range(100, 100 + length - 1)) + (destination,)
+            cache.offer(destination, path, cost)
+            best[destination] = min(best.get(destination, math.inf), cost)
+        for destination, expected in best.items():
+            cached = cache.get(destination)
+            assert cached is not None
+            assert cached.cost <= expected + 1e-9
+
+
+class TestStatsProperties:
+    @given(
+        samples=st.lists(
+            st.floats(-1e6, 1e6),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100)
+    def test_ci_contains_mean_and_is_symmetric(self, samples):
+        ci = mean_ci(samples)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.high - ci.mean == pytest.approx(ci.mean - ci.low, abs=1e-6)
+
+    @given(samples=st.lists(st.floats(0.0, 1e3), min_size=2, max_size=50))
+    @settings(max_examples=50)
+    def test_higher_confidence_wider_interval(self, samples):
+        narrow = mean_ci(samples, confidence=0.90)
+        wide = mean_ci(samples, confidence=0.99)
+        assert wide.half_width >= narrow.half_width

@@ -1,0 +1,133 @@
+"""Second property-based batch: buffers, plots, evaluator, Eq. 14/15 link."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytical import optimal_hop_count, route_energy
+from repro.core.energy_model import FlowRoute, RouteEnergyEvaluator
+from repro.core.radio import CABLETRON, RadioModel
+from repro.metrics.plotting import AsciiPlot
+from repro.routing.base import SendBuffer
+from repro.sim.packet import make_data_packet
+
+cards = st.builds(
+    RadioModel,
+    name=st.just("gen"),
+    p_idle=st.floats(0.01, 2.0),
+    p_rx=st.floats(0.01, 2.0),
+    p_base=st.floats(0.01, 3.0),
+    alpha2=st.floats(1e-12, 1e-7),
+    path_loss_exponent=st.sampled_from([2.0, 4.0]),
+    max_range=st.floats(50.0, 500.0),
+)
+
+
+class TestEq14Eq15Consistency:
+    @given(
+        card=cards,
+        distance=st.floats(50.0, 400.0),
+        utilization=st.floats(0.05, 0.5),
+    )
+    @settings(max_examples=150)
+    def test_mopt_is_where_route_energy_is_minimized(
+        self, card, distance, utilization
+    ):
+        """Eq. 15 must sit at the discrete minimum of Eq. 14 (within 1)."""
+        m_opt = optimal_hop_count(card, distance, utilization)
+        energies = {
+            hops: route_energy(card, distance, hops, utilization)
+            for hops in range(1, 12)
+        }
+        best = min(energies, key=energies.get)
+        continuous_best = min(max(m_opt, 1.0), 11.0)
+        assert abs(best - continuous_best) <= 1.0
+
+
+class TestSendBufferProperties:
+    @given(
+        pushes=st.lists(
+            st.tuples(st.integers(1, 4), st.integers(0, 99)),
+            max_size=60,
+        ),
+        capacity=st.integers(1, 8),
+    )
+    @settings(max_examples=100)
+    def test_capacity_respected_and_fifo_tail_kept(self, pushes, capacity):
+        buffer = SendBuffer(capacity_per_destination=capacity)
+        expected: dict[int, list[int]] = {}
+        for destination, seqno in pushes:
+            packet = make_data_packet(
+                origin=0, final_dst=destination, src=0, dst=0, seqno=seqno
+            )
+            buffer.push(destination, packet)
+            tail = expected.setdefault(destination, [])
+            tail.append(seqno)
+            del tail[:-capacity]
+        total_pushed = len(pushes)
+        total_kept = sum(len(v) for v in expected.values())
+        assert buffer.dropped_overflow == total_pushed - total_kept
+        for destination, seqnos in expected.items():
+            assert [
+                p.seqno for p in buffer.pop_all(destination)
+            ] == seqnos
+
+
+class TestAsciiPlotProperties:
+    @given(
+        series=st.lists(
+            st.lists(
+                st.tuples(
+                    st.floats(-1e4, 1e4),
+                    st.floats(-1e4, 1e4),
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_render_never_crashes_and_fits_width(self, series):
+        plot = AsciiPlot(width=50, height=12)
+        for index, points in enumerate(series):
+            plot.add_series(
+                "s%d" % index,
+                [x for x, _ in points],
+                [y for _, y in points],
+            )
+        output = plot.render()
+        for line in output.splitlines():
+            assert len(line) <= 50 + 30  # frame + labels margin
+
+
+class TestEvaluatorProperties:
+    @given(
+        rate=st.floats(100.0, 50_000.0),
+        duration=st.floats(1.0, 300.0),
+        hops=st.integers(1, 4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_energy_positive_and_conserved(self, rate, duration, hops):
+        positions = {i: (100.0 * i, 0.0) for i in range(hops + 1)}
+        evaluator = RouteEnergyEvaluator(positions, CABLETRON)
+        route = FlowRoute(path=tuple(range(hops + 1)), rate=rate)
+        energy = evaluator.evaluate([route], duration, scheduling="odpm")
+        assert energy.e_network > 0
+        for node_id, ledger in energy.nodes.items():
+            # Accounted time never exceeds the horizon (clamped at zero
+            # passive when the route saturates the node).
+            assert ledger.busy_time <= duration * (1 + 1e-9)
+
+    @given(rate=st.floats(100.0, 20_000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_never_costs_more_than_odpm(self, rate):
+        positions = {0: (0.0, 0.0), 1: (100.0, 0.0), 2: (0.0, 100.0)}
+        evaluator = RouteEnergyEvaluator(positions, CABLETRON)
+        route = FlowRoute(path=(0, 1), rate=rate)
+        perfect = evaluator.evaluate([route], 30.0, scheduling="perfect")
+        odpm = evaluator.evaluate([route], 30.0, scheduling="odpm")
+        assert perfect.e_network <= odpm.e_network + 1e-9

@@ -1,0 +1,167 @@
+"""Tests for the radio card models (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.core.radio import (
+    AIRONET_350,
+    CABLETRON,
+    CARD_REGISTRY,
+    HYPOTHETICAL_CABLETRON,
+    LEACH_N2,
+    LEACH_N4,
+    MICA2,
+    RadioModel,
+    RadioState,
+    fig7_card_configs,
+    get_card,
+)
+
+MW = 1e-3
+
+
+class TestTable1Values:
+    """Every Table 1 entry, converted to watts."""
+
+    def test_aironet_powers(self):
+        assert AIRONET_350.p_idle == pytest.approx(1.350)
+        assert AIRONET_350.p_rx == pytest.approx(1.350)
+        assert AIRONET_350.p_base == pytest.approx(2.165)
+        assert AIRONET_350.alpha2 == pytest.approx(3.6e-7 * MW)
+
+    def test_cabletron_powers(self):
+        assert CABLETRON.p_idle == pytest.approx(0.830)
+        assert CABLETRON.p_rx == pytest.approx(1.000)
+        assert CABLETRON.p_base == pytest.approx(1.118)
+        assert CABLETRON.alpha2 == pytest.approx(7.2e-8 * MW)
+
+    def test_hypothetical_matches_cabletron_except_alpha2(self):
+        assert HYPOTHETICAL_CABLETRON.p_idle == CABLETRON.p_idle
+        assert HYPOTHETICAL_CABLETRON.p_rx == CABLETRON.p_rx
+        assert HYPOTHETICAL_CABLETRON.p_base == CABLETRON.p_base
+        assert HYPOTHETICAL_CABLETRON.alpha2 == pytest.approx(5.2e-6 * MW)
+
+    def test_mica2_powers(self):
+        assert MICA2.p_idle == pytest.approx(0.021)
+        assert MICA2.p_base == pytest.approx(0.0102)
+        assert MICA2.alpha2 == pytest.approx(9.4e-7 * MW)
+
+    def test_leach_exponents(self):
+        assert LEACH_N4.path_loss_exponent == 4.0
+        assert LEACH_N2.path_loss_exponent == 2.0
+        assert LEACH_N2.alpha2 == pytest.approx(1e-2 * MW)
+
+    def test_sleep_far_below_idle_for_all_cards(self):
+        for card in CARD_REGISTRY.values():
+            assert card.p_sleep < 0.2 * card.p_idle
+
+    def test_fig7_configs_cover_six_lines(self):
+        configs = fig7_card_configs()
+        assert len(configs) == 6
+        distances = {card.name: d for card, d in configs}
+        assert distances["Cabletron"] == 250.0
+        assert distances["Aironet 350"] == 140.0
+        assert distances["Mica2"] == 68.0
+
+
+class TestTransmitPower:
+    def test_zero_distance_is_base_cost(self):
+        assert CABLETRON.transmit_power(0.0) == pytest.approx(CABLETRON.p_base)
+
+    def test_cabletron_at_max_range(self):
+        # 1118 mW + 7.2e-8 * 250^4 mW = 1118 + 281.25 mW
+        expected = (1118 + 7.2e-8 * 250**4) * MW
+        assert CABLETRON.transmit_power(250.0) == pytest.approx(expected)
+
+    def test_power_grows_with_distance(self):
+        powers = [CABLETRON.transmit_power(d) for d in (10, 50, 100, 200, 250)]
+        assert powers == sorted(powers)
+        assert powers[-1] > powers[0]
+
+    def test_quartic_attenuation(self):
+        p1 = CABLETRON.transmit_power_level(100.0)
+        p2 = CABLETRON.transmit_power_level(200.0)
+        assert p2 / p1 == pytest.approx(16.0)
+
+    def test_leach_n2_quadratic_attenuation(self):
+        p1 = LEACH_N2.transmit_power_level(10.0)
+        p2 = LEACH_N2.transmit_power_level(30.0)
+        assert p2 / p1 == pytest.approx(9.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            CABLETRON.transmit_power(-1.0)
+
+    def test_range_inversion_roundtrip(self):
+        for distance in (10.0, 77.7, 250.0):
+            level = CABLETRON.transmit_power_level(distance)
+            assert CABLETRON.range_for_power_level(level) == pytest.approx(distance)
+
+    def test_range_inversion_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CABLETRON.range_for_power_level(-0.1)
+
+    def test_hypothetical_transmit_power_is_watts_scale(self):
+        # The paper notes ~20 W at 250 m for the hypothetical card.
+        p = HYPOTHETICAL_CABLETRON.transmit_power(250.0)
+        assert 15.0 < p < 25.0
+
+
+class TestStatePower:
+    def test_all_states_have_power(self):
+        for state in RadioState:
+            assert CABLETRON.power(state, distance=100.0) >= 0.0
+
+    def test_transmit_without_distance_uses_max_power(self):
+        assert CABLETRON.power(RadioState.TRANSMIT) == pytest.approx(
+            CABLETRON.p_tx_max
+        )
+
+    def test_idle_as_large_as_receive_order(self):
+        # Idle power is "as large as receive power" (Feeney/Nilsson): same
+        # order of magnitude for the measured cards.
+        for card in (AIRONET_350, CABLETRON, MICA2):
+            assert card.p_idle >= 0.5 * card.p_rx
+
+
+class TestDerivedCards:
+    def test_with_alpha2(self):
+        derived = CABLETRON.with_alpha2(1e-6)
+        assert derived.alpha2 == 1e-6
+        assert derived.p_idle == CABLETRON.p_idle
+
+    def test_scaled_idle_models_leach_x_factor(self):
+        half = LEACH_N4.scaled_idle(0.5)
+        assert half.p_idle == pytest.approx(0.5 * LEACH_N4.p_rx)
+
+    def test_scaled_idle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LEACH_N4.scaled_idle(-0.5)
+
+
+class TestValidationAndRegistry:
+    def test_registry_lookup(self):
+        assert get_card("cabletron") is CABLETRON
+        assert get_card("hypothetical") is HYPOTHETICAL_CABLETRON
+
+    def test_unknown_card_lists_available(self):
+        with pytest.raises(KeyError, match="cabletron"):
+            get_card("nonexistent")
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel(name="bad", p_idle=-1, p_rx=1, p_base=1, alpha2=1e-9)
+
+    def test_extreme_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel(
+                name="bad", p_idle=1, p_rx=1, p_base=1, alpha2=1e-9,
+                path_loss_exponent=9.0,
+            )
+
+    def test_zero_range_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel(
+                name="bad", p_idle=1, p_rx=1, p_base=1, alpha2=1e-9, max_range=0.0
+            )

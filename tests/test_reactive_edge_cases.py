@@ -1,0 +1,193 @@
+"""Edge-case tests for the reactive framework internals."""
+
+import pytest
+
+from repro.core.radio import PowerMode
+from repro.net.topology import Placement
+from repro.routing.base import RouteCache, SendBuffer
+from repro.routing.reactive import (
+    DISCOVERY_ATTEMPTS,
+    RouteRequest,
+    SourceRoute,
+)
+from repro.sim.engine import Simulator
+from repro.sim.packet import make_data_packet
+from repro.traffic.flows import FlowSpec
+
+from tests.conftest import build_network
+
+
+class TestRouteCache:
+    def test_expiry(self):
+        sim = Simulator()
+        cache = RouteCache(sim, timeout=10.0)
+        cache.offer(5, (1, 2, 5), cost=3.0)
+        assert cache.get(5) is not None
+        sim.schedule(11.0, lambda: None)
+        sim.run()
+        assert cache.get(5) is None
+        assert len(cache) == 0
+
+    def test_cheaper_route_replaces(self):
+        sim = Simulator()
+        cache = RouteCache(sim)
+        assert cache.offer(5, (1, 2, 3, 5), cost=3.0)
+        assert cache.offer(5, (1, 4, 5), cost=2.0)
+        assert cache.get(5).path == (1, 4, 5)
+
+    def test_pricier_route_rejected(self):
+        sim = Simulator()
+        cache = RouteCache(sim)
+        cache.offer(5, (1, 4, 5), cost=2.0)
+        assert not cache.offer(5, (1, 2, 3, 5), cost=9.0)
+        assert cache.get(5).path == (1, 4, 5)
+
+    def test_invalidate_link_both_directions(self):
+        sim = Simulator()
+        cache = RouteCache(sim)
+        cache.offer(5, (1, 2, 5), cost=1.0)
+        cache.offer(7, (1, 5, 2, 7), cost=1.0)  # uses 5-2 (reverse)
+        cache.offer(9, (1, 3, 9), cost=1.0)
+        broken = cache.invalidate_link(2, 5)
+        assert sorted(broken) == [5, 7]
+        assert cache.get(9) is not None
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            RouteCache(Simulator(), timeout=0.0)
+
+
+class TestSendBuffer:
+    def test_overflow_drops_oldest(self):
+        buffer = SendBuffer(capacity_per_destination=2)
+        packets = [
+            make_data_packet(origin=0, final_dst=9, src=0, dst=0, seqno=i)
+            for i in range(3)
+        ]
+        for packet in packets:
+            buffer.push(9, packet)
+        assert buffer.dropped_overflow == 1
+        kept = buffer.pop_all(9)
+        assert [p.seqno for p in kept] == [1, 2]
+
+    def test_per_destination_isolation(self):
+        buffer = SendBuffer(capacity_per_destination=1)
+        buffer.push(1, make_data_packet(origin=0, final_dst=1, src=0, dst=0))
+        buffer.push(2, make_data_packet(origin=0, final_dst=2, src=0, dst=0))
+        assert buffer.dropped_overflow == 0
+        assert buffer.pending(1) == 1
+        assert buffer.pending(2) == 1
+
+    def test_drop_all_counts(self):
+        buffer = SendBuffer()
+        for i in range(3):
+            buffer.push(9, make_data_packet(origin=0, final_dst=9, src=0,
+                                            dst=0, seqno=i))
+        assert buffer.drop_all(9) == 3
+        assert buffer.pending(9) == 0
+
+    def test_peek_does_not_remove(self):
+        buffer = SendBuffer()
+        buffer.push(9, make_data_packet(origin=0, final_dst=9, src=0, dst=0))
+        assert len(buffer.peek_all(9)) == 1
+        assert buffer.pending(9) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SendBuffer(capacity_per_destination=0)
+
+
+class TestDiscoveryFailure:
+    def test_unreachable_destination_drops_after_retries(self):
+        """Node 9 is isolated: discovery must exhaust and drop cleanly."""
+        placement = Placement(
+            {0: (0.0, 0.0), 1: (150.0, 0.0), 9: (3000.0, 0.0)},
+            3000.0, 1.0,
+        )
+        flows = [FlowSpec(flow_id=0, source=0, destination=9,
+                          rate_bps=4000.0, start=1.0)]
+        net = build_network(placement, "DSR-Active", flows, duration=30.0)
+        result = net.run()
+        routing = net.nodes[0].routing
+        assert result.delivery_ratio == 0.0
+        assert routing.stats.data_dropped_no_route > 0
+        # Discovery retried the configured number of times, then gave up
+        # (later packets restart discovery, so the count is a multiple).
+        assert routing.stats.rreq_sent >= DISCOVERY_ATTEMPTS
+
+    def test_flow_to_unreachable_does_not_break_other_flows(self):
+        placement = Placement(
+            {0: (0.0, 0.0), 1: (150.0, 0.0), 9: (3000.0, 0.0)},
+            3000.0, 1.0,
+        )
+        flows = [
+            FlowSpec(flow_id=0, source=0, destination=9, rate_bps=4000.0,
+                     start=1.0),
+            FlowSpec(flow_id=1, source=0, destination=1, rate_bps=4000.0,
+                     start=1.0),
+        ]
+        net = build_network(placement, "DSR-Active", flows, duration=20.0)
+        result = net.run()
+        assert result.flows[1].delivery_ratio > 0.95
+
+
+class TestRreqProcessing:
+    @pytest.fixture
+    def net(self):
+        placement = Placement(
+            {0: (0.0, 0.0), 1: (150.0, 0.0), 2: (300.0, 0.0)}, 300.0, 1.0
+        )
+        flows = [FlowSpec(flow_id=0, source=0, destination=2,
+                          rate_bps=2000.0, start=1.0)]
+        return build_network(placement, "DSR-Active", flows, duration=5.0)
+
+    def test_node_ignores_rreq_already_containing_it(self, net):
+        routing = net.nodes[1].routing
+        looped = RouteRequest(origin=0, target=2, request_id=1,
+                              path=(0, 1), cost=1.0)
+        before = routing.stats.rreq_forwarded
+        packet = make_data_packet(origin=0, final_dst=2, src=0, dst=1)
+        routing._on_rreq(looped, packet)
+        assert routing.stats.rreq_forwarded == before
+
+    def test_node_ignores_own_flood(self, net):
+        routing = net.nodes[0].routing
+        own = RouteRequest(origin=0, target=2, request_id=1,
+                           path=(0,), cost=0.0)
+        before = routing.stats.rreq_forwarded
+        routing._on_rreq(own, make_data_packet(origin=0, final_dst=2,
+                                               src=0, dst=0))
+        assert routing.stats.rreq_forwarded == before
+
+    def test_worse_duplicate_suppressed_better_rebroadcast(self, net):
+        routing = net.nodes[1].routing
+        first = RouteRequest(origin=0, target=2, request_id=7,
+                             path=(0,), cost=5.0)
+        packet = make_data_packet(origin=0, final_dst=2, src=0, dst=1)
+        routing._on_rreq(first, packet)
+        after_first = routing.stats.rreq_forwarded
+        assert after_first == 1
+        worse = RouteRequest(origin=0, target=2, request_id=7,
+                             path=(0,), cost=50.0)
+        routing._on_rreq(worse, packet)
+        assert routing.stats.rreq_forwarded == after_first
+        # DSR's hop-count metric can't improve, but a cost-carrying copy
+        # with a strictly lower accumulated cost must be re-flooded.
+        better = RouteRequest(origin=0, target=2, request_id=7,
+                              path=(0,), cost=1.0)
+        routing._on_rreq(better, packet)
+        assert routing.stats.rreq_forwarded == after_first + 1
+
+
+class TestSourceRoute:
+    def test_advancing(self):
+        header = SourceRoute(path=(0, 1, 2, 3), index=0)
+        assert header.next_hop == 1
+        advanced = header.advanced()
+        assert advanced.index == 1
+        assert advanced.next_hop == 2
+        assert header.index == 0  # immutable
+
+    def test_rate_carried(self):
+        header = SourceRoute(path=(0, 1), index=0, rate=4000.0)
+        assert header.advanced().rate == 4000.0

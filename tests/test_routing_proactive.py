@@ -1,0 +1,211 @@
+"""Tests for the proactive routing family (DSDV, DSDVH)."""
+
+import math
+
+import pytest
+
+from repro.core.radio import CABLETRON, PowerMode
+from repro.net.topology import Placement
+from repro.routing.proactive import INFINITE_METRIC, DsdvUpdate, UpdateEntry
+from repro.sim.packet import make_data_packet
+from repro.traffic.flows import FlowSpec
+
+from tests.conftest import build_network, line_flow
+
+
+@pytest.fixture
+def line_placement():
+    positions = {i: (150.0 * i, 0.0) for i in range(5)}
+    return Placement(positions, width=600.0, height=1.0)
+
+
+@pytest.fixture
+def triangle_placement():
+    positions = {0: (0.0, 0.0), 1: (200.0, 0.0), 2: (100.0, 100.0)}
+    return Placement(positions, width=200.0, height=100.0)
+
+
+class TestDsdvConvergence:
+    def test_tables_converge_on_line(self, line_placement):
+        net = build_network(line_placement, "DSDV-ODPM", [line_flow(start=25.0)],
+                            duration=40.0)
+        net.run()
+        # After two update rounds, node 0 must know a route to node 4.
+        route = net.nodes[0].routing.route_to(4)
+        assert route is not None
+        next_hop, metric = route
+        assert next_hop == 1
+        assert metric == pytest.approx(4.0)  # hop count on the chain
+
+    def test_data_delivery_after_convergence(self, line_placement):
+        net = build_network(line_placement, "DSDV-ODPM", [line_flow(start=25.0)],
+                            duration=45.0)
+        result = net.run()
+        assert result.delivery_ratio > 0.85
+
+    def test_full_walk_of_tables_matches_topology(self, line_placement):
+        net = build_network(line_placement, "DSDV-ODPM", [line_flow(start=25.0)],
+                            duration=40.0)
+        net.run()
+        routes = net.extract_routes()
+        assert routes[0] == (0, 1, 2, 3, 4)
+
+    def test_periodic_updates_counted(self, triangle_placement):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=2000.0,
+                          start=20.0)]
+        net = build_network(triangle_placement, "DSDV-ODPM", flows, duration=40.0)
+        net.run()
+        for node in net.nodes.values():
+            assert node.routing.periodic_updates >= 2
+
+
+class TestSequenceNumbers:
+    def test_newer_seqno_wins_even_with_worse_metric(self, triangle_placement):
+        net = build_network(
+            triangle_placement, "DSDV-ODPM",
+            [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0,
+                      start=20.0)],
+            duration=1.0,
+        )
+        routing = net.nodes[0].routing
+        routing._on_update(DsdvUpdate(
+            sender=2, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=1, metric=1.0, seqno=2),),
+            full_dump=True,
+        ))
+        assert routing.route_to(1) == (2, 2.0)
+        # Older seqno with a better metric must NOT displace it.
+        routing._on_update(DsdvUpdate(
+            sender=1, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=1, metric=0.0, seqno=0),),
+            full_dump=True,
+        ))
+        assert routing.route_to(1) == (2, 2.0)
+
+    def test_same_seqno_lower_metric_wins(self, triangle_placement):
+        net = build_network(
+            triangle_placement, "DSDV-ODPM",
+            [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0,
+                      start=20.0)],
+            duration=1.0,
+        )
+        routing = net.nodes[0].routing
+        routing._on_update(DsdvUpdate(
+            sender=2, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=1, metric=5.0, seqno=2),),
+            full_dump=True,
+        ))
+        routing._on_update(DsdvUpdate(
+            sender=1, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=1, metric=0.0, seqno=2),),
+            full_dump=True,
+        ))
+        next_hop, metric = routing.route_to(1)
+        assert next_hop == 1
+        assert metric == pytest.approx(1.0)
+
+
+class TestLinkFailurePoisoning:
+    def test_failure_poisons_routes_with_odd_seqno(self, triangle_placement):
+        net = build_network(
+            triangle_placement, "DSDV-ODPM",
+            [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0,
+                      start=20.0)],
+            duration=1.0,
+        )
+        routing = net.nodes[0].routing
+        routing._on_update(DsdvUpdate(
+            sender=1, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=1, metric=0.0, seqno=2),),
+            full_dump=True,
+        ))
+        assert routing.route_to(1) is not None
+        packet = make_data_packet(origin=0, final_dst=1, src=0, dst=1)
+        routing.on_link_failure(1, packet)
+        assert routing.route_to(1) is None
+        entry = routing.table[1]
+        assert math.isinf(entry.metric)
+        assert entry.seqno % 2 == 1  # odd: broken-route marker
+
+
+class TestDsdvh:
+    def test_mode_change_triggers_update(self, triangle_placement):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0,
+                          start=20.0)]
+        net = build_network(triangle_placement, "DSDVH-ODPM", flows, duration=1.0)
+        routing = net.nodes[2].routing
+        before = routing.triggered_updates
+        routing.on_power_mode_change()
+        net.sim.run(until=net.sim.now + 2.0)
+        # At least our trigger fired; cost-change propagation may add more.
+        assert routing.triggered_updates >= before + 1
+
+    def test_plain_dsdv_ignores_mode_changes(self, triangle_placement):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0,
+                          start=20.0)]
+        net = build_network(triangle_placement, "DSDV-ODPM", flows, duration=1.0)
+        routing = net.nodes[2].routing
+        routing.on_power_mode_change()
+        net.sim.run(until=net.sim.now + 2.0)
+        assert routing.triggered_updates == 0
+
+    def test_triggered_updates_rate_limited(self, triangle_placement):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0,
+                          start=20.0)]
+        net = build_network(triangle_placement, "DSDVH-ODPM", flows, duration=1.0)
+        routing = net.nodes[2].routing
+        for _ in range(10):
+            routing.on_power_mode_change()
+        net.sim.run(until=net.sim.now + 0.5)
+        assert routing.triggered_updates <= 1
+
+    def test_joint_metric_reflects_psm_state(self, triangle_placement):
+        """An update from a PSM sender yields a costlier route than the same
+        update from an active sender (Eq. 12 penalty)."""
+        flows = [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0,
+                          start=20.0)]
+        net = build_network(triangle_placement, "DSDVH-ODPM", flows, duration=1.0)
+        routing = net.nodes[0].routing
+        routing._on_update(DsdvUpdate(
+            sender=1, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=9, metric=0.0, seqno=2),),
+            full_dump=True,
+        ))
+        active_metric = routing.table[9].metric
+        routing._on_update(DsdvUpdate(
+            sender=1, sender_mode=PowerMode.POWER_SAVE,
+            entries=(UpdateEntry(destination=9, metric=0.0, seqno=4),),
+            full_dump=True,
+        ))
+        psm_metric = routing.table[9].metric
+        assert psm_metric - active_metric == pytest.approx(CABLETRON.p_idle)
+
+    def test_dsdvh_generates_more_control_traffic_than_dsr(self, line_placement):
+        """The §5.2.1 overhead story at miniature scale."""
+        flows = [line_flow(start=20.0)]
+        dsdvh = build_network(line_placement, "DSDVH-ODPM", flows, duration=40.0)
+        dsdvh_result = dsdvh.run()
+        dsr = build_network(line_placement, "DSR-ODPM", flows, duration=40.0)
+        dsr_result = dsr.run()
+        assert dsdvh_result.control_packets > dsr_result.control_packets
+
+    def test_stale_routes_not_advertised(self, triangle_placement):
+        flows = [FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0,
+                          start=20.0)]
+        net = build_network(triangle_placement, "DSDV-ODPM", flows, duration=1.0)
+        routing = net.nodes[0].routing
+        routing._on_update(DsdvUpdate(
+            sender=1, sender_mode=PowerMode.ACTIVE,
+            entries=(UpdateEntry(destination=9, metric=1.0, seqno=2),),
+            full_dump=True,
+        ))
+        # Fast-forward beyond the route lifetime without refreshes.
+        lifetime = 3 * routing.update_interval
+        net.sim.run(until=net.sim.now + lifetime + 1.0)
+        captured = []
+        net.nodes[0].mac.send = lambda frame, distance=None: captured.append(frame)
+        routing._broadcast_update(full_dump=True)
+        assert len(captured) == 1
+        advertised = {entry.destination for entry in captured[0].payload.entries}
+        assert 9 not in advertised  # stale route suppressed
+        assert 0 in advertised  # own entry always advertised

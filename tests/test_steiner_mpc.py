@@ -1,0 +1,194 @@
+"""Tests for Steiner approximations and the MPC algorithm (§3)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.design_problem import SteinerForestExample, SteinerTreeExample
+from repro.net.mpc import (
+    bounded_alpha,
+    mpc_multi_commodity,
+    mpc_single_sink,
+)
+from repro.net.steiner import (
+    kmb_steiner_tree,
+    node_weighted_steiner_tree,
+    steiner_forest,
+    tree_cost,
+)
+
+
+def weighted_path_graph(n, weight=1.0):
+    graph = nx.path_graph(n)
+    nx.set_edge_attributes(graph, weight, "weight")
+    return graph
+
+
+class TestKmbSteinerTree:
+    def test_spans_all_terminals(self):
+        graph = nx.grid_2d_graph(5, 5)
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        terminals = [(0, 0), (4, 4), (0, 4)]
+        tree = kmb_steiner_tree(graph, terminals)
+        for terminal in terminals:
+            assert terminal in tree.nodes
+        assert nx.is_connected(tree)
+        assert nx.is_tree(tree)
+
+    def test_two_terminals_reduces_to_shortest_path(self):
+        graph = weighted_path_graph(6)
+        tree = kmb_steiner_tree(graph, [0, 5])
+        assert sorted(tree.nodes) == [0, 1, 2, 3, 4, 5]
+        assert tree.number_of_edges() == 5
+
+    def test_no_nonterminal_leaves(self):
+        graph = nx.star_graph(6)  # center 0, leaves 1..6
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        tree = kmb_steiner_tree(graph, [1, 2])
+        leaves = [n for n in tree.nodes if tree.degree(n) == 1]
+        assert set(leaves) <= {1, 2}
+
+    def test_single_terminal(self):
+        graph = weighted_path_graph(3)
+        tree = kmb_steiner_tree(graph, [1])
+        assert list(tree.nodes) == [1]
+        assert tree.number_of_edges() == 0
+
+    def test_within_2x_of_optimum_on_known_instance(self):
+        """Classic KMB bound check on a small instance with known optimum."""
+        # Star with center c and 3 terminals at distance 1: optimum = 3.
+        graph = nx.Graph()
+        for leaf in "abc":
+            graph.add_edge("center", leaf, weight=1.0)
+        # Expensive direct edges between terminals.
+        graph.add_edge("a", "b", weight=1.9)
+        graph.add_edge("b", "c", weight=1.9)
+        tree = kmb_steiner_tree(graph, ["a", "b", "c"])
+        assert tree_cost(tree, graph) <= 2 * 3.0
+
+    def test_unreachable_terminal_raises(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1.0)
+        graph.add_node(9)
+        with pytest.raises(nx.NetworkXNoPath):
+            kmb_steiner_tree(graph, [0, 9])
+
+    def test_no_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            kmb_steiner_tree(nx.path_graph(3), [])
+
+
+class TestSteinerForest:
+    def test_disjoint_pairs_stay_disjoint(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1.0)
+        graph.add_edge(2, 3, weight=1.0)
+        forest = steiner_forest(graph, [(0, 1), (2, 3)])
+        assert forest.has_edge(0, 1)
+        assert forest.has_edge(2, 3)
+        assert nx.number_connected_components(forest) == 2
+
+    def test_overlapping_pairs_share_structure(self):
+        graph = weighted_path_graph(5)
+        forest = steiner_forest(graph, [(0, 4), (1, 3)])
+        assert nx.number_connected_components(forest) == 1
+        assert forest.number_of_edges() == 4  # the path itself, shared
+
+    def test_every_pair_connected_in_forest(self):
+        graph = nx.grid_2d_graph(4, 4)
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        pairs = [((0, 0), (3, 3)), ((0, 3), (3, 0)), ((1, 1), (2, 2))]
+        forest = steiner_forest(graph, pairs)
+        for s, d in pairs:
+            assert nx.has_path(forest, s, d)
+
+
+class TestNodeWeightedSteiner:
+    def test_avoids_expensive_relays(self):
+        """Two candidate relays between terminals; the cheap one must win."""
+        graph = nx.Graph()
+        graph.add_node("s", cost=0.0)
+        graph.add_node("t", cost=0.0)
+        graph.add_node("cheap", cost=1.0)
+        graph.add_node("pricey", cost=10.0)
+        for relay in ("cheap", "pricey"):
+            graph.add_edge("s", relay)
+            graph.add_edge(relay, "t")
+        tree = node_weighted_steiner_tree(graph, ["s", "t"])
+        assert "cheap" in tree.nodes
+        assert "pricey" not in tree.nodes
+
+    def test_terminal_weights_ignored(self):
+        """Definition 1: endpoint idle costs are zero."""
+        graph = nx.Graph()
+        graph.add_node("s", cost=100.0)
+        graph.add_node("t", cost=100.0)
+        graph.add_edge("s", "t")
+        tree = node_weighted_steiner_tree(graph, ["s", "t"])
+        assert tree.has_edge("s", "t")
+
+
+class TestBoundedAlpha:
+    def test_computes_tight_alpha(self):
+        graph = nx.Graph()
+        graph.add_node(0, cost=2.0)
+        graph.add_node(1, cost=4.0)
+        graph.add_edge(0, 1, weight=1.0)
+        # w * demand / min(c) = 1 * 6 / 2 = 3.
+        assert bounded_alpha(graph, total_demand=6.0) == pytest.approx(3.0)
+
+    def test_infinite_when_node_cost_zero(self):
+        graph = nx.Graph()
+        graph.add_node(0, cost=0.0)
+        graph.add_node(1, cost=1.0)
+        graph.add_edge(0, 1, weight=1.0)
+        assert bounded_alpha(graph, total_demand=1.0) == float("inf")
+
+
+class TestMpcSingleSink:
+    def test_on_paper_st_network(self):
+        """MPC on the Fig. 1 network returns a tree spanning all sources."""
+        example = SteinerTreeExample(k=4)
+        graph = example.graph()
+        result = mpc_single_sink(graph, example.sink, list(example.sources))
+        for source in example.sources:
+            assert nx.has_path(result.subgraph, source, example.sink)
+
+    def test_cost_between_st2_and_st1(self):
+        """Any minimum-weight Steiner tree on Fig. 1 costs between E_ST2
+        (the good tree) and E_ST1 (the bad one)."""
+        example = SteinerTreeExample(k=4)
+        graph = example.graph()
+        result = mpc_single_sink(graph, example.sink, list(example.sources))
+        total = result.total_cost
+        assert example.st2_energy() <= total + 1e-9
+        assert total <= example.st1_energy() + 1e-9
+
+
+class TestMpcMultiCommodity:
+    def test_sf_gap_reproduced(self):
+        """On the Fig. 4 network, endpoint-free evaluation shows the SF1/SF2
+        idle gap: MPC's forest may keep up to k relays awake while the best
+        design needs one."""
+        example = SteinerForestExample(k=4)
+        graph = example.graph()
+        pairs = [(example.source(i), example.destination(i))
+                 for i in range(1, example.k + 1)]
+        result = mpc_multi_commodity(graph, pairs, endpoints_free=True)
+        assert example.sf2_energy() <= result.total_cost + 1e-9
+        assert result.total_cost <= example.sf1_energy() + 1e-9
+
+    def test_demand_length_validation(self):
+        example = SteinerForestExample(k=2)
+        pairs = [(example.source(1), example.destination(1))]
+        with pytest.raises(ValueError):
+            mpc_multi_commodity(example.graph(), pairs, demands=[1.0, 2.0])
+
+    def test_communication_cost_scales_with_demand(self):
+        example = SteinerForestExample(k=2)
+        pairs = [(example.source(i), example.destination(i)) for i in (1, 2)]
+        light = mpc_multi_commodity(example.graph(), pairs, demands=[1.0, 1.0])
+        heavy = mpc_multi_commodity(example.graph(), pairs, demands=[3.0, 3.0])
+        assert heavy.communication_cost == pytest.approx(
+            3 * light.communication_cost
+        )
+        assert heavy.idle_cost == pytest.approx(light.idle_cost)

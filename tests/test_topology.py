@@ -1,0 +1,124 @@
+"""Tests for placements and connectivity graphs."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.radio import CABLETRON
+from repro.net.topology import (
+    Placement,
+    connectivity_graph,
+    grid_placement,
+    uniform_random_placement,
+)
+
+
+class TestPlacement:
+    def test_distance(self):
+        placement = Placement({0: (0.0, 0.0), 1: (3.0, 4.0)}, 10.0, 10.0)
+        assert placement.distance(0, 1) == pytest.approx(5.0)
+
+    def test_rejects_out_of_field_nodes(self):
+        with pytest.raises(ValueError):
+            Placement({0: (11.0, 0.0)}, 10.0, 10.0)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Placement({0: (0.0, 0.0)}, 0.0, 10.0)
+
+    def test_node_ids_sorted(self):
+        placement = Placement({3: (1, 1), 1: (2, 2), 2: (3, 3)}, 10.0, 10.0)
+        assert placement.node_ids == [1, 2, 3]
+
+
+class TestUniformRandom:
+    def test_count_and_bounds(self):
+        rng = random.Random(1)
+        placement = uniform_random_placement(50, 500.0, 500.0, rng)
+        assert len(placement) == 50
+        for x, y in placement.positions.values():
+            assert 0 <= x <= 500 and 0 <= y <= 500
+
+    def test_reproducible(self):
+        a = uniform_random_placement(10, 100.0, 100.0, random.Random(7))
+        b = uniform_random_placement(10, 100.0, 100.0, random.Random(7))
+        assert a.positions == b.positions
+
+    def test_connectivity_requirement(self):
+        rng = random.Random(3)
+        placement = uniform_random_placement(
+            30, 400.0, 400.0, rng, require_connected_range=250.0
+        )
+        graph = connectivity_graph(placement, 250.0)
+        assert nx.is_connected(graph)
+
+    def test_impossible_connectivity_raises(self):
+        rng = random.Random(3)
+        with pytest.raises(RuntimeError):
+            uniform_random_placement(
+                50, 5000.0, 5000.0, rng,
+                require_connected_range=10.0, max_attempts=3,
+            )
+
+
+class TestGrid:
+    def test_7x7_grid_spacing(self):
+        """The §5.2.3 grid: 300x300 with 7 nodes per side -> 50 m spacing."""
+        placement = grid_placement(7, 300.0, 300.0)
+        assert len(placement) == 49
+        assert placement.distance(0, 1) == pytest.approx(50.0)
+        assert placement.distance(0, 7) == pytest.approx(50.0)
+
+    def test_row_major_ids(self):
+        placement = grid_placement(3, 100.0, 100.0)
+        assert placement.positions[0] == (0.0, 0.0)
+        assert placement.positions[2] == (100.0, 0.0)
+        assert placement.positions[6] == (0.0, 100.0)
+
+    def test_corners_at_field_extremes(self):
+        placement = grid_placement(5, 200.0, 200.0)
+        assert placement.positions[24] == (200.0, 200.0)
+
+    def test_minimum_side(self):
+        with pytest.raises(ValueError):
+            grid_placement(1, 100.0, 100.0)
+
+
+class TestConnectivityGraph:
+    def test_edges_respect_range(self):
+        placement = Placement(
+            {0: (0.0, 0.0), 1: (100.0, 0.0), 2: (300.0, 0.0)}, 300.0, 1.0
+        )
+        graph = connectivity_graph(placement, 250.0)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(0, 2)
+
+    def test_edge_attributes_with_card(self):
+        placement = Placement({0: (0.0, 0.0), 1: (100.0, 0.0)}, 100.0, 1.0)
+        graph = connectivity_graph(placement, 250.0, card=CABLETRON)
+        edge = graph.edges[0, 1]
+        assert edge["distance"] == pytest.approx(100.0)
+        assert edge["tx_power"] == pytest.approx(CABLETRON.transmit_power(100.0))
+        assert edge["tx_level"] == pytest.approx(
+            CABLETRON.transmit_power_level(100.0)
+        )
+
+    def test_positions_stored_as_node_attributes(self):
+        placement = grid_placement(3, 100.0, 100.0)
+        graph = connectivity_graph(placement, 250.0)
+        assert graph.nodes[4]["pos"] == placement.positions[4]
+
+    def test_invalid_range(self):
+        placement = grid_placement(3, 100.0, 100.0)
+        with pytest.raises(ValueError):
+            connectivity_graph(placement, 0.0)
+
+    def test_grid_at_50m_range_is_lattice(self):
+        """At exactly one-spacing range only axis neighbors connect."""
+        placement = grid_placement(4, 150.0, 150.0)  # 50 m spacing
+        graph = connectivity_graph(placement, 50.0)
+        assert graph.degree(0) == 2  # corner
+        assert graph.degree(5) == 4  # interior

@@ -1,0 +1,105 @@
+"""Tests for the packet tracer."""
+
+import pytest
+
+from repro.net.topology import Placement
+from repro.sim.packet import PacketKind
+from repro.sim.trace import Tracer
+from repro.traffic.flows import FlowSpec
+
+from tests.conftest import build_network
+
+
+@pytest.fixture
+def traced_run():
+    placement = Placement(
+        {0: (0.0, 0.0), 1: (150.0, 0.0), 2: (300.0, 0.0)}, 300.0, 1.0
+    )
+    flows = [FlowSpec(flow_id=0, source=0, destination=2,
+                      rate_bps=4000.0, start=1.0)]
+    net = build_network(placement, "DSR-Active", flows, duration=10.0)
+    tracer = Tracer(net)
+    result = net.run()
+    return net, tracer, result
+
+
+class TestTracer:
+    def test_records_sends_and_deliveries(self, traced_run):
+        _, tracer, result = traced_run
+        sends = tracer.events(kind="send", packet_kind=PacketKind.DATA)
+        delivers = tracer.events(kind="deliver", packet_kind=PacketKind.DATA)
+        assert len(sends) >= result.packets_received  # >= one hop each
+        assert len(delivers) >= result.packets_received
+
+    def test_events_in_time_order(self, traced_run):
+        _, tracer, _ = traced_run
+        times = [e.time for e in tracer.events()]
+        assert times == sorted(times)
+
+    def test_flow_path_matches_route(self, traced_run):
+        net, tracer, _ = traced_run
+        path = tracer.flow_path(0)
+        assert path[0] == 0
+        assert 1 in path  # the only possible relay
+        assert tuple(path) == net.extract_routes()[0][:-1]
+
+    def test_summary_counts(self, traced_run):
+        _, tracer, _ = traced_run
+        summary = tracer.summary()
+        assert summary.get("send/data", 0) > 0
+        assert summary.get("send/ack", 0) > 0  # unicast data is ACKed
+
+    def test_airtime_accounting(self, traced_run):
+        net, tracer, _ = traced_run
+        airtime = tracer.airtime_by_kind()
+        assert airtime[PacketKind.DATA] > airtime[PacketKind.ACK]
+        share = tracer.control_share()
+        assert 0.0 < share < 0.6  # RTS/CTS/ACK + discovery, bounded
+
+    def test_node_filter(self, traced_run):
+        _, tracer, _ = traced_run
+        only_relay = tracer.events(node=1)
+        assert only_relay
+        assert all(e.node == 1 for e in only_relay)
+
+    def test_write_trace_file(self, traced_run, tmp_path):
+        _, tracer, _ = traced_run
+        path = tmp_path / "trace.txt"
+        count = tracer.write(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count == len(tracer)
+        assert "data" in lines[-1] or "ack" in lines[-1]
+
+    def test_max_events_cap(self):
+        placement = Placement({0: (0.0, 0.0), 1: (100.0, 0.0)}, 100.0, 1.0)
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=8000.0, start=1.0)]
+        net = build_network(placement, "DSR-Active", flows, duration=10.0)
+        tracer = Tracer(net, max_events=10)
+        net.run()
+        assert len(tracer) == 10
+        assert tracer.dropped_records > 0
+
+    def test_invalid_cap_rejected(self, traced_run):
+        net, _, _ = traced_run
+        with pytest.raises(ValueError):
+            Tracer(net, max_events=0)
+
+    def test_link_failure_recorded(self):
+        placement = Placement(
+            {0: (0.0, 100.0), 1: (200.0, 200.0), 2: (200.0, 0.0),
+             3: (400.0, 100.0)},
+            400.0, 200.0,
+        )
+        flows = [FlowSpec(flow_id=0, source=0, destination=3,
+                          rate_bps=4000.0, start=1.0)]
+        net = build_network(placement, "DSR-Active", flows, duration=30.0)
+        tracer = Tracer(net)
+
+        def kill():
+            relay = net.extract_routes()[0][1]
+            net.nodes[relay].fail()
+
+        net.sim.schedule_at(5.0, kill)
+        net.run()
+        assert tracer.events(kind="link-failure")

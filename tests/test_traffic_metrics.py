@@ -1,0 +1,170 @@
+"""Tests for traffic generation and the metrics layer."""
+
+import random
+
+import pytest
+
+from repro.core.energy_model import NetworkEnergy
+from repro.core.radio import CABLETRON
+from repro.metrics.collectors import RunResult, aggregate_runs
+from repro.metrics.stats import ConfidenceInterval, mean_ci, summarize
+from repro.net.topology import Placement
+from repro.traffic.cbr import FlowStats
+from repro.traffic.flows import FlowSpec, grid_flows, random_flows
+
+from tests.conftest import build_network
+
+
+class TestFlowSpec:
+    def test_interval(self):
+        spec = FlowSpec(flow_id=0, source=0, destination=1,
+                        rate_bps=2048.0, packet_bytes=128)
+        assert spec.interval == pytest.approx(0.5)
+
+    def test_paper_rates_give_packets_per_second(self):
+        """2-6 Kbit/s at 128 B equals 2-6 packets/s (the paper's phrasing)."""
+        for kbps in (2, 4, 6):
+            spec = FlowSpec(flow_id=0, source=0, destination=1,
+                            rate_bps=kbps * 1000.0, packet_bytes=128)
+            assert spec.interval == pytest.approx(1.024 / kbps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec(flow_id=0, source=1, destination=1, rate_bps=1.0)
+        with pytest.raises(ValueError):
+            FlowSpec(flow_id=0, source=0, destination=1, rate_bps=0.0)
+        with pytest.raises(ValueError):
+            FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1.0,
+                     start=10.0, stop=5.0)
+
+
+class TestFlowSelection:
+    def test_random_flows_distinct_sources(self):
+        rng = random.Random(1)
+        flows = random_flows(list(range(20)), 10, 4000.0, rng)
+        sources = [f.source for f in flows]
+        assert len(set(sources)) == 10
+
+    def test_random_flows_start_window(self):
+        rng = random.Random(1)
+        flows = random_flows(list(range(20)), 5, 4000.0, rng,
+                             start_window=(20.0, 25.0))
+        for flow in flows:
+            assert 20.0 <= flow.start <= 25.0
+
+    def test_too_many_flows_rejected(self):
+        with pytest.raises(ValueError):
+            random_flows([1, 2], 3, 1000.0, random.Random(1))
+
+    def test_grid_flows_left_to_right(self):
+        rng = random.Random(1)
+        flows = grid_flows(7, 4000.0, rng)
+        assert len(flows) == 7
+        for row, flow in enumerate(flows):
+            assert flow.source == row * 7
+            assert flow.destination == row * 7 + 6
+
+
+class TestCbrEndToEnd:
+    def test_sink_counts_unique_packets(self):
+        placement = Placement({0: (0.0, 0.0), 1: (100.0, 0.0)}, 100.0, 1.0)
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=4096.0, start=1.0)]
+        net = build_network(placement, "DSR-Active", flows, duration=11.0)
+        result = net.run()
+        stats = result.flows[0]
+        # 10 s of 4 packets/s = 40 packets; the final packet may still be in
+        # flight when the simulation horizon cuts off.
+        assert stats.sent == pytest.approx(40, abs=1)
+        assert stats.received >= stats.sent - 1
+        assert stats.duplicates == 0
+        assert stats.delivery_ratio > 0.97
+
+    def test_flow_stop_time_respected(self):
+        placement = Placement({0: (0.0, 0.0), 1: (100.0, 0.0)}, 100.0, 1.0)
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=4096.0, start=1.0, stop=3.0)]
+        net = build_network(placement, "DSR-Active", flows, duration=10.0)
+        result = net.run()
+        assert result.flows[0].sent <= 9
+
+    def test_latency_recorded(self):
+        placement = Placement({0: (0.0, 0.0), 1: (100.0, 0.0)}, 100.0, 1.0)
+        flows = [FlowSpec(flow_id=0, source=0, destination=1,
+                          rate_bps=4096.0, start=1.0)]
+        net = build_network(placement, "DSR-Active", flows, duration=5.0)
+        result = net.run()
+        assert result.flows[0].mean_latency > 0.0
+        assert result.flows[0].mean_latency < 0.1
+
+
+class TestStats:
+    def test_mean_ci_known_values(self):
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ci.mean == pytest.approx(3.0)
+        # t(0.975, df=4) = 2.776; sem = sqrt(2.5/5).
+        assert ci.half_width == pytest.approx(2.776 * (2.5 / 5) ** 0.5, rel=1e-3)
+
+    def test_single_sample_zero_width(self):
+        ci = mean_ci([7.0])
+        assert ci.mean == 7.0
+        assert ci.half_width == 0.0
+
+    def test_interval_bounds(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, n=5)
+        assert ci.low == 8.0 and ci.high == 12.0
+
+    def test_overlap(self):
+        a = ConfidenceInterval(mean=10.0, half_width=2.0, n=5)
+        b = ConfidenceInterval(mean=13.0, half_width=2.0, n=5)
+        c = ConfidenceInterval(mean=20.0, half_width=2.0, n=5)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_summarize(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["min"] == 2.0 and summary["max"] == 6.0
+        assert summary["n"] == 3
+
+
+class TestRunResultAggregation:
+    def make_result(self, seed, received=90):
+        spec = FlowSpec(flow_id=0, source=0, destination=1, rate_bps=4000.0)
+        stats = FlowStats(spec=spec, sent=100, received=received)
+        energy = NetworkEnergy()
+        energy.add_node(0, CABLETRON).charge_idle(10.0)
+        return RunResult.from_components(
+            protocol="TITAN-PC", seed=seed, duration=100.0,
+            flows=[stats], energy=energy,
+        )
+
+    def test_delivery_ratio(self):
+        result = self.make_result(1, received=90)
+        assert result.delivery_ratio == pytest.approx(0.9)
+
+    def test_energy_goodput(self):
+        result = self.make_result(1, received=100)
+        expected = (100 * 128 * 8) / (10.0 * CABLETRON.p_idle)
+        assert result.energy_goodput == pytest.approx(expected)
+
+    def test_aggregate_means(self):
+        results = [self.make_result(s, received=80 + s) for s in range(1, 6)]
+        agg = aggregate_runs(results)
+        assert agg.runs == 5
+        assert agg.delivery_ratio.mean == pytest.approx(0.83)
+
+    def test_aggregate_rejects_mixed_protocols(self):
+        a = self.make_result(1)
+        b = self.make_result(2)
+        b.protocol = "DSR-ODPM"
+        with pytest.raises(ValueError):
+            aggregate_runs([a, b])
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
