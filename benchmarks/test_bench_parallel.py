@@ -1,0 +1,75 @@
+"""Orchestration harness: parallel fan-out and result-store reuse.
+
+Not a paper artifact — this bench exercises the run layer itself
+(:mod:`repro.experiments.parallel` / :mod:`repro.experiments.store`) on a
+small grid and reports three regimes:
+
+* ``cold``   — every cell simulated, fanned out across worker processes;
+* ``warm``   — identical invocation against the populated store
+  (must perform **zero** new simulations);
+* ``serial`` — the single-process reference the parallel results must
+  match bit-for-bit.
+
+On a single-CPU runner the fan-out shows overhead rather than speedup; the
+invariants (identical results, zero warm-cache simulations) hold anywhere.
+"""
+
+import time
+
+from repro.experiments.parallel import grid_cells, run_grid
+from repro.experiments.scenarios import grid_network
+from repro.experiments.store import ResultStore
+
+from conftest import print_table, run_once
+
+PROTOCOLS = ("DSR-ODPM", "TITAN-PC")
+RATES = (2.0, 4.0)
+
+
+def test_bench_parallel_sweep_and_cache(benchmark, tmp_path):
+    scenario = grid_network(scale="smoke")
+    cells = grid_cells(scenario, protocols=PROTOCOLS, rates_kbps=RATES)
+    store = ResultStore(tmp_path / "cache")
+
+    def orchestrate():
+        timings = {}
+        t0 = time.monotonic()
+        cold = run_grid(scenario, cells, jobs=2, store=store)
+        timings["cold"] = time.monotonic() - t0
+        cold_writes = store.writes
+
+        t0 = time.monotonic()
+        warm = run_grid(scenario, cells, jobs=2, store=store)
+        timings["warm"] = time.monotonic() - t0
+        warm_writes = store.writes - cold_writes
+
+        t0 = time.monotonic()
+        serial = run_grid(scenario, cells, jobs=1)
+        timings["serial"] = time.monotonic() - t0
+        return timings, cold, warm, serial, cold_writes, warm_writes
+
+    timings, cold, warm, serial, cold_writes, warm_writes = run_once(
+        benchmark, orchestrate
+    )
+
+    rows = [
+        ("cold (jobs=2)", "%.2f" % timings["cold"], cold_writes),
+        ("warm cache", "%.2f" % timings["warm"], warm_writes),
+        ("serial", "%.2f" % timings["serial"], "-"),
+    ]
+    print_table(
+        "Orchestration: %d-cell grid, store at %s" % (len(cells), store.root),
+        ["Regime", "Wall (s)", "New simulations"],
+        rows,
+    )
+
+    # The cache must absorb the entire second pass...
+    assert cold_writes == len(cells)
+    assert warm_writes == 0
+    assert store.hits == len(cells)
+    # ...and neither caching nor process fan-out may perturb results.
+    for cell in cells:
+        assert cold[cell].to_payload() == serial[cell].to_payload()
+        assert warm[cell].to_payload() == serial[cell].to_payload()
+    # Reading JSON must be much cheaper than simulating.
+    assert timings["warm"] < timings["cold"]

@@ -7,30 +7,57 @@ Usage::
     python -m repro fig9  --scale smoke
     python -m repro fig14 --scale bench
     python -m repro table2 --scale smoke
+    python -m repro sweep --scenario grid --jobs 4 --cache-dir ~/.cache/repro
     python -m repro run --protocol TITAN-PC --rate 4 --nodes 40
     python -m repro lifetime --protocol TITAN-PC
 
 Figures render as ASCII plots (see :mod:`repro.metrics.plotting`); tables
 print aligned rows.  ``--scale`` selects ``smoke`` (seconds), ``bench``
 (default, minutes) or ``paper`` (the full §5.2 durations).
+
+Every grid-backed command (``fig8``–``fig16``, ``table2``, ``sweep``)
+accepts ``--jobs N`` (fan the grid out across N worker processes; results
+are bit-identical to ``--jobs 1``), ``--cache-dir DIR`` (reuse completed
+runs from a persistent result store) and ``--progress`` (per-cell
+progress/ETA on stderr).  ``run`` and ``lifetime`` execute a single ad hoc
+simulation and take neither.  See :mod:`repro.experiments.parallel` and
+:mod:`repro.experiments.store`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Callable
 
 from repro.core.analytical import fig7_curves
 from repro.core.radio import CARD_REGISTRY
 from repro.experiments.runner import frozen_route_goodput, sweep
 from repro.experiments.scenarios import (
     HIGH_RATES_KBPS,
+    Scenario,
     density_network,
     grid_network,
     large_network,
     small_network,
 )
+from repro.experiments.store import ResultStore
 from repro.metrics.plotting import AsciiPlot, figure_from_sweep
+
+#: ``--scenario`` choices of the ``sweep`` command.
+SCENARIOS: dict[str, Callable[..., Scenario]] = {
+    "small": small_network,
+    "large": large_network,
+    "grid": grid_network,
+    "density300": lambda scale: density_network(300, scale=scale),
+    "density400": lambda scale: density_network(400, scale=scale),
+}
+
+
+def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
+    """Build the result store requested by ``--cache-dir``, if any."""
+    cache_dir = getattr(args, "cache_dir", None)
+    return ResultStore(cache_dir) if cache_dir else None
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -66,7 +93,8 @@ def _field_figure(args: argparse.Namespace, metric: str, title: str,
                   scenario_factory) -> None:
     scenario = scenario_factory(scale=args.scale)
     rates = scenario.rates_kbps if args.scale == "paper" else (2.0, 4.0, 6.0)
-    grid = sweep(scenario, rates_kbps=rates)
+    grid = sweep(scenario, rates_kbps=rates, jobs=args.jobs,
+                 store=_store_from_args(args), progress=args.progress)
     series = {}
     for protocol in scenario.protocols:
         values = [
@@ -103,9 +131,9 @@ def _cmd_fig12(args):
 
 
 def _cmd_fig10(args: argparse.Namespace) -> None:
-    from repro.experiments.runner import run_many
-
+    store = _store_from_args(args)
     rates = (2.0, 4.0, 6.0)
+    protocols = ("TITAN-PC", "DSR-ODPM")
     plot = AsciiPlot(
         title="Fig. 10: transmit energy (J)",
         xlabel="Rate (Kbit/s)", ylabel="Transmit energy (J)",
@@ -113,25 +141,29 @@ def _cmd_fig10(args: argparse.Namespace) -> None:
     for label, factory in (("500x500", small_network),
                            ("1300x1300", large_network)):
         scenario = factory(scale=args.scale)
-        for protocol in ("TITAN-PC", "DSR-ODPM"):
+        # One orchestrated grid per scenario so --jobs spans the whole
+        # protocol x rate x seed block, not one run_many at a time.
+        grid = sweep(scenario, protocols=protocols, rates_kbps=rates,
+                     jobs=args.jobs, store=store, progress=args.progress)
+        for protocol in protocols:
             values = [
-                run_many(scenario, protocol, rate).transmit_energy.mean
-                for rate in rates
+                grid[(protocol, rate)].transmit_energy.mean for rate in rates
             ]
             plot.add_series("%s (%s)" % (protocol, label), rates, values)
     print(plot.render())
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
-    from repro.experiments.runner import run_many
-
+    store = _store_from_args(args)
     print("Table 2: performance with node density (4 Kbit/s per flow)")
     print("%-8s %-14s %-22s %-22s" % ("# nodes", "Protocol",
                                       "Delivery ratio", "Goodput (bit/J)"))
     for node_count in (300, 400):
         scenario = density_network(node_count, scale=args.scale)
+        grid = sweep(scenario, rates_kbps=(4.0,), jobs=args.jobs,
+                     store=store, progress=args.progress)
         for protocol in scenario.protocols:
-            agg = run_many(scenario, protocol, 4.0)
+            agg = grid[(protocol, 4.0)]
             print(
                 "%-8d %-14s %6.3f ± %-12.3f %8.1f ± %-10.1f"
                 % (
@@ -144,12 +176,22 @@ def _cmd_table2(args: argparse.Namespace) -> None:
 
 def _grid_figure(args: argparse.Namespace, rates, scheduling: str,
                  title: str) -> None:
+    from repro.experiments.parallel import discover_routes
+
     scenario = grid_network(scale=args.scale)
+    store = _store_from_args(args)
+    # The probe simulations are the expensive half; fan them out across
+    # --jobs workers (and the route cache) before the analytic pass.
+    routes_map = discover_routes(
+        scenario, scenario.protocols, jobs=args.jobs, store=store,
+        progress=args.progress,
+    )
     plot = AsciiPlot(title=title, xlabel="Rate (Kbit/s)",
                      ylabel="Energy goodput (Kbit/J)")
     for protocol in scenario.protocols:
         points = frozen_route_goodput(
-            scenario, protocol, tuple(rates), scheduling, duration=100.0
+            scenario, protocol, tuple(rates), scheduling, duration=100.0,
+            routes=routes_map[protocol],
         )
         plot.add_series(
             protocol, rates, [p.energy_goodput / 1e3 for p in points]
@@ -231,6 +273,51 @@ def _cmd_lifetime(args: argparse.Namespace) -> None:
         print("  %8.0f s  %.2f" % (t, fraction))
 
 
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    scenario = SCENARIOS[args.scenario](scale=args.scale)
+    protocols = tuple(args.protocols) if args.protocols else None
+    rates = tuple(args.rates) if args.rates else None
+    store = _store_from_args(args)
+    grid = sweep(
+        scenario,
+        protocols=protocols,
+        rates_kbps=rates,
+        jobs=args.jobs,
+        store=store,
+        progress=args.progress,
+    )
+    print(
+        "Sweep: %s  (%d protocols x %d rates x %d seeds, jobs=%d)"
+        % (
+            scenario.name,
+            len(protocols or scenario.protocols),
+            len(rates or scenario.rates_kbps),
+            scenario.runs,
+            args.jobs,
+        )
+    )
+    print(
+        "%-26s %10s %-18s %-22s %12s"
+        % ("Protocol", "Kbit/s", "Delivery ratio", "Goodput (bit/J)",
+           "E_net (J)")
+    )
+    for (protocol, rate), agg in sorted(grid.items()):
+        print(
+            "%-26s %10.1f %6.3f +- %-8.3f %10.1f +- %-9.1f %12.1f"
+            % (
+                protocol, rate,
+                agg.delivery_ratio.mean, agg.delivery_ratio.half_width,
+                agg.energy_goodput.mean, agg.energy_goodput.half_width,
+                agg.e_network.mean,
+            )
+        )
+    if store is not None:
+        print(
+            "cache: %d hits, %d misses, %d new runs written (%s)"
+            % (store.hits, store.misses, store.writes, store.root)
+        )
+
+
 def _cmd_validate(args: argparse.Namespace) -> None:
     from repro.experiments.validation import print_report, validate
 
@@ -255,18 +342,43 @@ def build_parser() -> argparse.ArgumentParser:
                        default="bench")
         return p
 
+    def add_sim(name, func, help_text):
+        """A command that simulates: also gets orchestration flags."""
+        p = add(name, func, help_text)
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep grid "
+                            "(results are identical to --jobs 1)")
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent result store; completed runs are "
+                            "reused instead of re-simulated")
+        p.add_argument("--progress", action="store_true",
+                       help="per-cell progress/ETA on stderr")
+        return p
+
     add("table1", _cmd_table1, "radio card parameters")
     add("fig7", _cmd_fig7, "characteristic hop count curves")
-    add("fig8", _cmd_fig8, "small-network delivery ratio")
-    add("fig9", _cmd_fig9, "small-network energy goodput")
-    add("fig10", _cmd_fig10, "transmit energy comparison")
-    add("fig11", _cmd_fig11, "large-network delivery ratio")
-    add("fig12", _cmd_fig12, "large-network energy goodput")
-    add("table2", _cmd_table2, "density study")
-    add("fig13", _cmd_fig13, "grid, low rates, perfect scheduling")
-    add("fig14", _cmd_fig14, "grid, low rates, ODPM scheduling")
-    add("fig15", _cmd_fig15, "grid, high rates, perfect scheduling")
-    add("fig16", _cmd_fig16, "grid, high rates, ODPM scheduling")
+    add_sim("fig8", _cmd_fig8, "small-network delivery ratio")
+    add_sim("fig9", _cmd_fig9, "small-network energy goodput")
+    add_sim("fig10", _cmd_fig10, "transmit energy comparison")
+    add_sim("fig11", _cmd_fig11, "large-network delivery ratio")
+    add_sim("fig12", _cmd_fig12, "large-network energy goodput")
+    add_sim("table2", _cmd_table2, "density study")
+    add_sim("fig13", _cmd_fig13, "grid, low rates, perfect scheduling")
+    add_sim("fig14", _cmd_fig14, "grid, low rates, ODPM scheduling")
+    add_sim("fig15", _cmd_fig15, "grid, high rates, perfect scheduling")
+    add_sim("fig16", _cmd_fig16, "grid, high rates, ODPM scheduling")
+
+    sweep_parser = add_sim("sweep", _cmd_sweep,
+                           "parallel protocol x rate x seed sweep")
+    sweep_parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                              default="grid",
+                              help="scenario preset to sweep")
+    sweep_parser.add_argument("--protocols", nargs="+", default=None,
+                              help="protocol subset (default: the "
+                                   "scenario's full line-up)")
+    sweep_parser.add_argument("--rates", nargs="+", type=float, default=None,
+                              help="rate subset in Kbit/s (default: the "
+                                   "scenario's rate grid)")
 
     add("validate", _cmd_validate, "check every reproduced paper claim")
 

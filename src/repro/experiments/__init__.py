@@ -1,12 +1,28 @@
 """Experiment presets and runners for every figure and table of §5."""
 
+from repro.experiments.parallel import (
+    GridCell,
+    GridCellError,
+    ProgressReporter,
+    discover_routes,
+    grid_cells,
+    run_grid,
+    run_sweep,
+)
 from repro.experiments.runner import (
     FrozenRoutePoint,
     frozen_route_goodput,
+    frozen_routes,
     run_many,
     run_single,
     stabilize_routes,
     sweep,
+)
+from repro.experiments.store import (
+    ResultStore,
+    cell_key,
+    routes_key,
+    scenario_fingerprint,
 )
 from repro.experiments.validation import (
     CLAIMS,
@@ -33,15 +49,27 @@ __all__ = [
     "FIELD_PROTOCOLS",
     "FrozenRoutePoint",
     "GRID_PROTOCOLS",
+    "GridCell",
+    "GridCellError",
     "HIGH_RATES_KBPS",
+    "ProgressReporter",
+    "ResultStore",
     "Scenario",
+    "cell_key",
     "density_network",
+    "discover_routes",
     "frozen_route_goodput",
+    "frozen_routes",
+    "grid_cells",
     "grid_network",
     "large_network",
     "print_report",
+    "routes_key",
+    "run_grid",
     "run_many",
     "run_single",
+    "run_sweep",
+    "scenario_fingerprint",
     "small_network",
     "stabilize_routes",
     "sweep",

@@ -1,0 +1,377 @@
+"""Parallel experiment orchestration over the (protocol, rate, seed) grid.
+
+The paper's evaluation (§5.2) is an embarrassingly-parallel workload: every
+``(protocol, rate, seed)`` cell is an independent simulation whose outcome
+depends only on its own configuration.  This module is the run layer that
+exploits that — it fans grid cells out across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, reuses completed cells
+from a :class:`~repro.experiments.store.ResultStore`, and reports
+progress/ETA while a sweep is running.
+
+Determinism is preserved by construction: each cell re-derives every random
+stream from its own seed (see :meth:`repro.sim.engine.Simulator.rng`), so a
+parallel sweep is **bit-identical** to a serial one; aggregation always
+folds runs in ascending-seed order so even floating-point summation order
+matches the serial path.
+
+The public surface:
+
+* :class:`GridCell` — one point of the sweep grid.
+* :func:`run_grid` — execute a set of cells (serial or parallel, cached).
+* :func:`run_sweep` — full protocol x rate grid, aggregated per cell group;
+  the engine behind :func:`repro.experiments.runner.sweep` and the
+  ``repro sweep`` CLI command.
+* :class:`GridCellError` — failure wrapper naming the offending cell.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterable, Sequence, TextIO, TypeVar
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+from repro.experiments.scenarios import Scenario
+from repro.experiments.store import ResultStore, cell_key
+from repro.metrics.collectors import AggregateResult, RunResult, aggregate_runs
+
+
+@dataclass(frozen=True, order=True)
+class GridCell:
+    """One point of the sweep grid: a (protocol, rate, seed) triple."""
+
+    protocol: str
+    rate_kbps: float
+    seed: int
+
+    def __str__(self) -> str:
+        return "%s @ %g Kbit/s, seed %d" % (
+            self.protocol,
+            self.rate_kbps,
+            self.seed,
+        )
+
+
+class GridCellError(RuntimeError):
+    """A simulation failed; names the offending cell.
+
+    Mid-grid failures used to surface as an opaque traceback with no hint
+    of *which* configuration died; this wrapper carries the
+    ``(protocol, rate, seed)`` triple in both the message and the ``cell``
+    attribute, and survives pickling across process boundaries.
+    """
+
+    def __init__(self, cell: GridCell, cause: str) -> None:
+        super().__init__(
+            "simulation failed for protocol=%s rate=%g Kbit/s seed=%d: %s"
+            % (cell.protocol, cell.rate_kbps, cell.seed, cause)
+        )
+        self.cell = cell
+        self._cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.cell, self._cause))
+
+
+def grid_cells(
+    scenario: Scenario,
+    protocols: Sequence[str] | None = None,
+    rates_kbps: Sequence[float] | None = None,
+    seeds: Sequence[int] | None = None,
+) -> list[GridCell]:
+    """Enumerate the full protocol x rate x seed grid of a scenario.
+
+    Defaults come from the scenario preset: its protocol line-up, its rate
+    grid and seeds ``1..runs``.  Cells are returned in deterministic
+    (protocol, rate, seed) order.
+    """
+    protocols = tuple(protocols or scenario.protocols)
+    rates = tuple(rates_kbps or scenario.rates_kbps)
+    seeds = tuple(seeds or range(1, scenario.runs + 1))
+    return [
+        GridCell(protocol, float(rate), int(seed))
+        for protocol in protocols
+        for rate in rates
+        for seed in seeds
+    ]
+
+
+def _execute_cell(scenario: Scenario, cell: GridCell) -> RunResult:
+    """Run one cell's simulation; top-level so the process pool can pickle it."""
+    from repro.experiments.runner import run_single
+
+    try:
+        return run_single(scenario, cell.protocol, cell.rate_kbps, cell.seed)
+    except Exception as exc:
+        raise GridCellError(cell, "%s: %s" % (type(exc).__name__, exc)) from exc
+
+
+def _probe_routes(
+    scenario: Scenario,
+    protocol: str,
+    seed: int = 1,
+    probe_rate_kbps: float = 2.0,
+) -> dict[int, tuple[int, ...]]:
+    """Worker: run one §5.2.3 probe simulation, return its stabilized routes."""
+    from repro.experiments.runner import stabilize_routes
+
+    try:
+        _, routes = stabilize_routes(scenario, protocol, seed, probe_rate_kbps)
+        return routes
+    except Exception as exc:
+        cell = GridCell(protocol, probe_rate_kbps, seed)
+        raise GridCellError(cell, "%s: %s" % (type(exc).__name__, exc)) from exc
+
+
+def _dispatch(
+    pending: Sequence[_Item],
+    task: Callable[[_Item], _Result],
+    record: Callable[[_Item, _Result], None],
+    jobs: int,
+) -> None:
+    """Run ``task`` over ``pending`` serially or via a process pool.
+
+    ``task`` must be picklable (a top-level function or a
+    :func:`functools.partial` of one).  ``record`` is always invoked in the
+    parent process.  On any failure, queued work is cancelled so the error
+    surfaces promptly instead of after the rest of the batch.
+    """
+    if jobs <= 1 or len(pending) <= 1:
+        for item in pending:
+            record(item, task(item))
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {pool.submit(task, item): item for item in pending}
+        try:
+            for future in as_completed(futures):
+                record(futures[future], future.result())
+        except BaseException:
+            # Surface the failing cell promptly: drop queued cells
+            # instead of letting the rest of the grid run first.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+
+def _run_cached(
+    items: Sequence[_Item],
+    get: Callable[[_Item], _Result | None],
+    put: Callable[[_Item, _Result], None],
+    task: Callable[[_Item], _Result],
+    label: Callable[[_Item], GridCell],
+    jobs: int,
+    reporter: ProgressReporter,
+) -> dict[_Item, _Result]:
+    """Cached fan-out shared by :func:`run_grid` and :func:`discover_routes`.
+
+    Looks every item up via ``get`` first, dispatches the misses through
+    :func:`_dispatch`, persists fresh results via ``put`` (in the parent
+    process), and feeds the reporter throughout.
+    """
+    results: dict[_Item, _Result] = {}
+    pending: list[_Item] = []
+    for item in items:
+        cached = get(item)
+        if cached is not None:
+            results[item] = cached
+        else:
+            pending.append(item)
+    reporter.cached(len(results))
+
+    def _record(item: _Item, result: _Result) -> None:
+        results[item] = result
+        put(item, result)
+        reporter.advance(label(item))
+
+    _dispatch(pending, task, _record, jobs)
+    return results
+
+
+def _make_reporter(
+    progress: bool | ProgressReporter, total: int
+) -> ProgressReporter:
+    """Coerce the ``progress`` argument into a live reporter."""
+    if isinstance(progress, ProgressReporter):
+        return progress
+    return ProgressReporter(total=total, enabled=bool(progress))
+
+
+class ProgressReporter:
+    """Console progress/ETA for a running sweep.
+
+    Writes one line per completed cell to ``stream`` (default stderr, so
+    figures piped to a file stay clean)::
+
+        [ 7/24] TITAN-PC @ 4 Kbit/s, seed 2   elapsed 12.3s  ETA 29.8s
+
+    ETA extrapolates from the mean wall-clock of live (non-cached) cells;
+    cache hits are reported once, up front.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        enabled: bool = True,
+        stream: TextIO | None = None,
+    ) -> None:
+        self.total = total
+        self.done = 0
+        self._live_done = 0
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self._start = time.monotonic()
+
+    def _emit(self, line: str) -> None:
+        if self.enabled:
+            print(line, file=self.stream, flush=True)
+
+    def cached(self, count: int) -> None:
+        """Record ``count`` cells satisfied from the result store."""
+        self.done += count
+        if count:
+            self._emit(
+                "[%*d/%d] reused from cache"
+                % (len(str(self.total)), self.done, self.total)
+            )
+
+    def advance(self, cell: GridCell) -> None:
+        """Record one freshly-simulated cell and print progress + ETA."""
+        self.done += 1
+        self._live_done += 1
+        elapsed = time.monotonic() - self._start
+        remaining = self.total - self.done
+        eta = elapsed / self._live_done * remaining
+        self._emit(
+            "[%*d/%d] %-40s elapsed %6.1fs  ETA %6.1fs"
+            % (len(str(self.total)), self.done, self.total, cell, elapsed, eta)
+        )
+
+
+def run_grid(
+    scenario: Scenario,
+    cells: Iterable[GridCell],
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: bool | ProgressReporter = False,
+) -> dict[GridCell, RunResult]:
+    """Execute ``cells``, fanning out across processes and reusing the store.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs serially in this process; results are
+        identical either way (each cell derives all randomness from its own
+        seed).
+    store:
+        Optional :class:`ResultStore`; completed cells are looked up before
+        simulating and persisted after, so repeated invocations with the
+        same store perform zero new simulations.
+    progress:
+        ``True`` for stderr progress/ETA lines, or a pre-built
+        :class:`ProgressReporter`.
+
+    Raises
+    ------
+    GridCellError
+        If any cell's simulation fails, naming the offending
+        ``(protocol, rate, seed)``.
+    """
+    cells = list(cells)
+
+    def _key(cell: GridCell) -> str:
+        return cell_key(scenario, cell.protocol, cell.rate_kbps, cell.seed)
+
+    return _run_cached(
+        cells,
+        get=(lambda cell: store.get_run(_key(cell)))
+        if store is not None
+        else lambda cell: None,
+        put=(lambda cell, result: store.put_run(_key(cell), result))
+        if store is not None
+        else lambda cell, result: None,
+        task=partial(_execute_cell, scenario),
+        label=lambda cell: cell,
+        jobs=jobs,
+        reporter=_make_reporter(progress, len(cells)),
+    )
+
+
+def discover_routes(
+    scenario: Scenario,
+    protocols: Sequence[str],
+    seed: int = 1,
+    probe_rate_kbps: float = 2.0,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: bool | ProgressReporter = False,
+) -> dict[str, dict[int, tuple[int, ...]]]:
+    """Stabilized route sets for several protocols, fanned out and cached.
+
+    The §5.2.3 probe simulations (routes discovered at ``probe_rate_kbps``,
+    then frozen for the high-rate analytic evaluation) are the expensive
+    half of Figs. 13–16 and are independent per protocol, so they
+    parallelize and cache exactly like grid cells.  Returns
+    ``{protocol: {flow_id: path}}``.
+    """
+    from repro.experiments.store import routes_key
+
+    protocols = tuple(protocols)
+
+    def _key(protocol: str) -> str:
+        return routes_key(scenario, protocol, seed, probe_rate_kbps)
+
+    return _run_cached(
+        protocols,
+        get=(lambda protocol: store.get_routes(_key(protocol)))
+        if store is not None
+        else lambda protocol: None,
+        put=(lambda protocol, routes: store.put_routes(_key(protocol), routes))
+        if store is not None
+        else lambda protocol, routes: None,
+        task=partial(
+            _probe_routes, scenario, seed=seed, probe_rate_kbps=probe_rate_kbps
+        ),
+        label=lambda protocol: GridCell(protocol, probe_rate_kbps, seed),
+        jobs=jobs,
+        reporter=_make_reporter(progress, len(protocols)),
+    )
+
+
+def run_sweep(
+    scenario: Scenario,
+    protocols: Sequence[str] | None = None,
+    rates_kbps: Sequence[float] | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: bool = False,
+    on_aggregate: Callable[[str, float, AggregateResult], None] | None = None,
+) -> dict[tuple[str, float], AggregateResult]:
+    """Full protocol x rate grid, aggregated over seeds with 95% CIs.
+
+    The parallel, cached engine behind
+    :func:`repro.experiments.runner.sweep`.  Runs every
+    ``(protocol, rate, seed)`` cell via :func:`run_grid`, then folds each
+    (protocol, rate) group over its seeds **in ascending-seed order**, so
+    aggregates match the serial path bit-for-bit.  ``on_aggregate`` fires
+    once per finished group (console reporting hooks).
+    """
+    protocols = tuple(protocols or scenario.protocols)
+    rates = tuple(rates_kbps or scenario.rates_kbps)
+    seeds = tuple(range(1, scenario.runs + 1))
+    cells = grid_cells(scenario, protocols, rates, seeds)
+    results = run_grid(scenario, cells, jobs=jobs, store=store, progress=progress)
+    grid: dict[tuple[str, float], AggregateResult] = {}
+    for protocol in protocols:
+        for rate in rates:
+            runs = [
+                results[GridCell(protocol, float(rate), seed)] for seed in seeds
+            ]
+            aggregate = aggregate_runs(runs)
+            grid[(protocol, float(rate))] = aggregate
+            if on_aggregate is not None:
+                on_aggregate(protocol, float(rate), aggregate)
+    return grid

@@ -10,16 +10,26 @@ rows/series the paper's figures plot:
   simulate at 2 Kbit/s until routes stabilize, freeze them, then compute
   ``E_network`` analytically for each (possibly much higher) rate under
   perfect or ODPM sleep scheduling.
+
+:func:`sweep` and :func:`run_many` route through the orchestration layer in
+:mod:`repro.experiments.parallel`: pass ``jobs=N`` to fan cells out across
+processes and ``store=ResultStore(...)`` to reuse completed runs from disk.
+Results are bit-identical regardless of ``jobs`` (each cell derives all
+randomness from its own seed).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.energy_model import FlowRoute, RouteEnergyEvaluator
 from repro.metrics.collectors import AggregateResult, RunResult, aggregate_runs
 from repro.experiments.scenarios import Scenario
 from repro.sim.network import PROTOCOLS, WirelessNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - runner <-> parallel layering
+    from repro.experiments.store import ResultStore
 
 
 def run_single(
@@ -31,14 +41,25 @@ def run_single(
 
 
 def run_many(
-    scenario: Scenario, protocol: str, rate_kbps: float
+    scenario: Scenario,
+    protocol: str,
+    rate_kbps: float,
+    jobs: int = 1,
+    store: "ResultStore | None" = None,
+    progress: bool = False,
 ) -> AggregateResult:
-    """Run ``scenario.runs`` seeds of one configuration and aggregate."""
-    results = [
-        run_single(scenario, protocol, rate_kbps, seed)
-        for seed in range(1, scenario.runs + 1)
-    ]
-    return aggregate_runs(results)
+    """Run ``scenario.runs`` seeds of one configuration and aggregate.
+
+    Seeds fan out across ``jobs`` processes and reuse ``store`` when given.
+    A failing seed raises :class:`~repro.experiments.parallel.GridCellError`
+    naming the offending ``(protocol, rate, seed)`` instead of an opaque
+    mid-grid traceback.
+    """
+    from repro.experiments.parallel import grid_cells, run_grid
+
+    cells = grid_cells(scenario, (protocol,), (rate_kbps,))
+    results = run_grid(scenario, cells, jobs=jobs, store=store, progress=progress)
+    return aggregate_runs([results[cell] for cell in cells])
 
 
 def sweep(
@@ -46,25 +67,37 @@ def sweep(
     protocols: tuple[str, ...] | None = None,
     rates_kbps: tuple[float, ...] | None = None,
     verbose: bool = False,
+    jobs: int = 1,
+    store: "ResultStore | None" = None,
+    progress: bool = False,
 ) -> dict[tuple[str, float], AggregateResult]:
     """Full protocol x rate grid for a scenario.
 
     Returns ``{(protocol, rate): AggregateResult}``; iterate rates in inner
-    order to print one figure line per protocol.
+    order to print one figure line per protocol.  ``jobs``/``store``/
+    ``progress`` are forwarded to
+    :func:`repro.experiments.parallel.run_sweep`, the orchestration engine.
+    ``verbose`` prints one stdout line per (protocol, rate) aggregate once
+    the grid completes, and turns on per-cell stderr progress so a long
+    sweep stays visibly alive while it runs.
     """
-    protocols = protocols or scenario.protocols
-    rates = rates_kbps or scenario.rates_kbps
-    grid: dict[tuple[str, float], AggregateResult] = {}
-    for protocol in protocols:
-        for rate in rates:
-            grid[(protocol, rate)] = run_many(scenario, protocol, rate)
-            if verbose:  # pragma: no cover - console convenience
-                agg = grid[(protocol, rate)]
-                print(
-                    "%-26s %4.1f Kbit/s  dr=%s  goodput=%s"
-                    % (protocol, rate, agg.delivery_ratio, agg.energy_goodput)
-                )
-    return grid
+    from repro.experiments.parallel import run_sweep
+
+    def _report(protocol: str, rate: float, agg: AggregateResult) -> None:
+        print(
+            "%-26s %4.1f Kbit/s  dr=%s  goodput=%s"
+            % (protocol, rate, agg.delivery_ratio, agg.energy_goodput)
+        )
+
+    return run_sweep(
+        scenario,
+        protocols=protocols,
+        rates_kbps=rates_kbps,
+        jobs=jobs,
+        store=store,
+        progress=progress or verbose,
+        on_aggregate=_report if verbose else None,
+    )
 
 
 @dataclass(frozen=True)
@@ -110,6 +143,29 @@ def stabilize_routes(
     return network, routes
 
 
+def frozen_routes(
+    scenario: Scenario,
+    protocol: str,
+    seed: int = 1,
+    probe_rate_kbps: float = 2.0,
+    store: "ResultStore | None" = None,
+) -> dict[int, tuple[int, ...]]:
+    """Stabilized routes for the §5.2.3 frozen-route studies, cached.
+
+    The probe simulation is the expensive half of Figs. 13–16; with a
+    ``store``, its stabilized route set is cached on disk so subsequent
+    figure invocations skip straight to the analytic energy evaluation.
+    To probe several protocols in parallel, use
+    :func:`repro.experiments.parallel.discover_routes` (this is its
+    single-protocol serial case).
+    """
+    from repro.experiments.parallel import discover_routes
+
+    return discover_routes(
+        scenario, (protocol,), seed, probe_rate_kbps, store=store
+    )[protocol]
+
+
 def frozen_route_goodput(
     scenario: Scenario,
     protocol: str,
@@ -118,14 +174,21 @@ def frozen_route_goodput(
     seed: int = 1,
     duration: float = 100.0,
     probe_rate_kbps: float = 2.0,
+    store: "ResultStore | None" = None,
+    routes: dict[int, tuple[int, ...]] | None = None,
 ) -> list[FrozenRoutePoint]:
     """Figs. 13–16: energy goodput at each rate over frozen routes.
 
     ``scheduling`` is ``"perfect"`` (Figs. 13, 15) or ``"odpm"``
     (Figs. 14, 16).  Power control follows the protocol preset (e.g. MTPR
-    transmits data at per-hop power, DSR-Active at maximum power).
+    transmits data at per-hop power, DSR-Active at maximum power).  With a
+    ``store``, the stabilized routes come from :func:`frozen_routes`' disk
+    cache when available; pass ``routes`` (e.g. from a parallel
+    :func:`~repro.experiments.parallel.discover_routes` batch) to skip the
+    probe entirely.
     """
-    network, routes = stabilize_routes(scenario, protocol, seed, probe_rate_kbps)
+    if routes is None:
+        routes = frozen_routes(scenario, protocol, seed, probe_rate_kbps, store)
     placement = scenario.placement(seed)
     preset = PROTOCOLS[protocol]
     evaluator = RouteEnergyEvaluator(
@@ -133,7 +196,6 @@ def frozen_route_goodput(
         card=scenario.card,
         power_control=preset.power_control,
     )
-    flow_specs = {stats.spec.flow_id: stats.spec for stats in network.flow_stats}
     points = []
     for rate in rates_kbps:
         flow_routes = [

@@ -1,0 +1,233 @@
+"""Persistent, content-addressed result store for experiment runs.
+
+Simulating the paper's grids is by far the most expensive thing this
+repository does, and the grid is perfectly re-runnable: a
+``(scenario, protocol, rate, seed)`` cell is a pure function of its
+configuration.  The store exploits that by caching every completed
+:class:`~repro.metrics.collectors.RunResult` on disk under a **stable
+content hash** of the cell configuration, so that regenerating a figure, a
+table or a benchmark re-simulates only the cells it has never seen.
+
+Keys are SHA-256 hexdigests of a canonical JSON *fingerprint* — every
+structural parameter that influences the simulation outcome (scenario
+geometry, flow workload, radio-card physics, duration, protocol, rate,
+seed) and nothing that does not (the scenario's ``runs`` count or the rate
+grid surrounding a cell).  The fingerprint is computed from explicit field
+values, never from :func:`hash`, so keys are identical across processes and
+interpreter invocations — a property the parallel orchestrator
+(:mod:`repro.experiments.parallel`) relies on when several workers share
+one cache directory.
+
+Entries are single JSON files written atomically (temp file +
+:func:`os.replace`), so concurrent writers at worst duplicate work and
+never corrupt an entry.  Two kinds of entries exist:
+
+* ``runs/`` — serialized :class:`RunResult` payloads, one per grid cell.
+* ``routes/`` — stabilized route sets from the §5.2.3 frozen-route probe
+  simulations (the expensive half of Figs. 13–16).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.metrics.collectors import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.experiments.scenarios import Scenario
+
+#: Bump when the simulator's observable behaviour changes so that stale
+#: cached results are never mistaken for current ones.
+CACHE_FORMAT_VERSION = 1
+
+
+def scenario_fingerprint(scenario: "Scenario") -> dict:
+    """Structural parameters of ``scenario`` that determine a run's outcome.
+
+    Includes everything the placement, flow generation and
+    :class:`~repro.sim.network.NetworkConfig` assembly read — the scenario
+    ``name`` participates because it seeds the placement/flow RNG streams —
+    and excludes presentation-only attributes (``runs``, ``rates_kbps``,
+    ``protocols``) so one cached cell serves every sweep that contains it.
+    """
+    return {
+        "version": CACHE_FORMAT_VERSION,
+        "name": scenario.name,
+        "node_count": scenario.node_count,
+        "field_size": scenario.field_size,
+        "flow_count": scenario.flow_count,
+        "duration": scenario.duration,
+        "grid": scenario.grid,
+        "start_window": list(scenario.start_window),
+        "card": asdict(scenario.card),
+    }
+
+
+def _digest(payload: Mapping) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def cell_key(
+    scenario: "Scenario", protocol: str, rate_kbps: float, seed: int
+) -> str:
+    """Stable cache key for one ``(scenario, protocol, rate, seed)`` cell.
+
+    The key is a SHA-256 hexdigest of canonical JSON, so it is identical
+    across processes, interpreter restarts and machines (unlike
+    :func:`hash`, which is salted per process).
+    """
+    return _digest(
+        {
+            "kind": "run",
+            "scenario": scenario_fingerprint(scenario),
+            "protocol": protocol,
+            "rate_kbps": float(rate_kbps),
+            "seed": int(seed),
+        }
+    )
+
+
+def routes_key(
+    scenario: "Scenario", protocol: str, seed: int, probe_rate_kbps: float
+) -> str:
+    """Stable cache key for a §5.2.3 stabilized-route set."""
+    return _digest(
+        {
+            "kind": "routes",
+            "scenario": scenario_fingerprint(scenario),
+            "protocol": protocol,
+            "probe_rate_kbps": float(probe_rate_kbps),
+            "seed": int(seed),
+        }
+    )
+
+
+class ResultStore:
+    """Disk-backed cache of completed runs, shared by all orchestrators.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created (with parents) if missing.  Safe to share
+        between concurrent processes — writes are atomic renames.
+
+    Attributes
+    ----------
+    hits / misses / writes:
+        Monotonic counters for this store instance (not persisted), used by
+        progress reporting and the cache-behaviour tests.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Generic JSON blobs
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / ("%s.json" % key)
+
+    def _read(self, kind: str, key: str) -> dict | None:
+        path = self._path(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def _write(self, kind: str, key: str, payload: dict) -> None:
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (".%s.%d.tmp" % (key, os.getpid()))
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    # Typed entries
+    # ------------------------------------------------------------------
+    def _demote_hit(self) -> None:
+        """Reclassify the last hit as a miss (entry decoded but malformed)."""
+        self.hits -= 1
+        self.misses += 1
+
+    def get_run(self, key: str) -> RunResult | None:
+        """Return the cached :class:`RunResult` for ``key``, or None.
+
+        Entries that parse as JSON but do not decode to a ``RunResult``
+        (e.g. written by a checkout with a different payload shape and an
+        unbumped :data:`CACHE_FORMAT_VERSION`) count as misses, so the cell
+        is re-simulated instead of crashing the sweep.
+        """
+        payload = self._read("runs", key)
+        if payload is None:
+            return None
+        try:
+            return RunResult.from_payload(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            self._demote_hit()
+            return None
+
+    def put_run(self, key: str, result: RunResult) -> None:
+        """Persist one completed run under ``key`` (atomic write)."""
+        self._write("runs", key, {"key": key, "result": result.to_payload()})
+
+    def get_routes(self, key: str) -> dict[int, tuple[int, ...]] | None:
+        """Return a cached stabilized-route set, or None.
+
+        Malformed-but-parseable entries count as misses, mirroring
+        :meth:`get_run`.
+        """
+        payload = self._read("routes", key)
+        if payload is None:
+            return None
+        try:
+            return {
+                int(flow_id): tuple(path)
+                for flow_id, path in payload["routes"].items()
+            }
+        except (AttributeError, KeyError, TypeError, ValueError):
+            self._demote_hit()
+            return None
+
+    def put_routes(self, key: str, routes: Mapping[int, tuple[int, ...]]) -> None:
+        """Persist one stabilized-route set under ``key`` (atomic write)."""
+        self._write(
+            "routes",
+            key,
+            {
+                "key": key,
+                "routes": {
+                    str(flow_id): list(path)
+                    for flow_id, path in sorted(routes.items())
+                },
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -8,7 +8,7 @@ mean ± 95%-CI records the paper plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.energy_model import NetworkEnergy
@@ -66,6 +66,60 @@ class RunResult:
     def transmit_energy(self) -> float:
         """Total transmit-state energy in joules (Fig. 10's metric)."""
         return self.energy_summary["transmit_energy"]
+
+    def to_payload(self) -> dict:
+        """Serialize to a JSON-safe dict (see :mod:`repro.experiments.store`).
+
+        The payload captures the full run — per-flow counters, the energy
+        summary (joules) and overhead counts — so a cached run is
+        indistinguishable from a fresh one.
+        """
+        return {
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "duration": self.duration,
+            "flows": [
+                {
+                    "spec": asdict(stats.spec),
+                    "sent": stats.sent,
+                    "received": stats.received,
+                    "duplicates": stats.duplicates,
+                    "latency_sum": stats.latency_sum,
+                }
+                for stats in self.flows
+            ],
+            "energy_summary": dict(self.energy_summary),
+            "control_packets": self.control_packets,
+            "relays_used": self.relays_used,
+            "events_processed": self.events_processed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_payload` output."""
+        from repro.traffic.cbr import FlowStats
+        from repro.traffic.flows import FlowSpec
+
+        flows = [
+            FlowStats(
+                spec=FlowSpec(**entry["spec"]),
+                sent=entry["sent"],
+                received=entry["received"],
+                duplicates=entry["duplicates"],
+                latency_sum=entry["latency_sum"],
+            )
+            for entry in payload["flows"]
+        ]
+        return cls(
+            protocol=payload["protocol"],
+            seed=payload["seed"],
+            duration=payload["duration"],
+            flows=flows,
+            energy_summary=dict(payload["energy_summary"]),
+            control_packets=payload["control_packets"],
+            relays_used=payload["relays_used"],
+            events_processed=payload["events_processed"],
+        )
 
     @classmethod
     def from_components(

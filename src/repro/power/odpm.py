@@ -45,7 +45,14 @@ class OdpmConfig:
 
 
 class Odpm(PowerManager):
-    """On-demand AM/PSM switching driven by keep-alive timers."""
+    """On-demand AM/PSM switching driven by keep-alive timers (§2.2, [25]).
+
+    Every data or route-reply event pulls the node into active mode and
+    extends a keep-alive timer (seconds, per :class:`OdpmConfig`); expiry
+    drops the node back to PSM.  The balance between the two determines how
+    much of the idle power (watts, Table 1) a relay actually pays — the
+    quantity Figs. 13–16 study.
+    """
 
     def __init__(
         self,
@@ -79,5 +86,6 @@ class Odpm(PowerManager):
 
     @property
     def keepalive_expires_at(self) -> float | None:
-        """Absolute expiry of the current keep-alive, or None in PSM."""
+        """Absolute expiry of the current keep-alive (simulation seconds),
+        or None in PSM."""
         return self._keepalive.expires_at

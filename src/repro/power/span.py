@@ -36,7 +36,14 @@ WITHDRAW_DELAY = 4.0
 
 
 class SpanCoordinator(PowerManager):
-    """Topology-driven power management: coordinators stay awake."""
+    """Topology-driven power management: coordinators stay awake ([9], §5.2.1).
+
+    Unlike ODPM's traffic-driven keep-alives, membership here is decided by
+    *coverage*: a node turns active when some neighbor pair would otherwise
+    be disconnected, and withdraws (after ``WITHDRAW_DELAY`` seconds) once
+    redundant.  Energy cost follows directly: coordinators idle at full
+    power (watts, Table 1) while everyone else sleeps.
+    """
 
     def __init__(self, sim: Simulator, node_id: int) -> None:
         super().__init__(sim, node_id)

@@ -1,10 +1,14 @@
 """Routing protocol base: node context, route cache, send buffer, stats.
 
-All protocols implement :class:`RoutingProtocol`.  They receive a
-:class:`NodeContext` exposing exactly the node facilities routing needs —
-the MAC for frame transmission, the channel for link distances, the power
-manager for AM/PSM state (both to drive ODPM and to evaluate Eq. 12 costs),
-and the application upcall for delivered data.
+All protocols implement :class:`RoutingProtocol` (the §4 heuristics —
+TITAN, DSRH, DSDVH — as well as the §5.2 baselines DSR, DSDV, MTPR).  They
+receive a :class:`NodeContext` exposing exactly the node facilities routing
+needs — the MAC for frame transmission, the channel for link distances
+(meters), the power manager for AM/PSM state (both to drive ODPM and to
+evaluate Eq. 12 costs), and the application upcall for delivered data.
+
+Route costs are dimensionless scores computed by :mod:`repro.routing.costs`
+from link distances (meters) and card powers (watts); lower is better.
 """
 
 from __future__ import annotations
@@ -59,7 +63,13 @@ class RoutingStats:
 
 @dataclass
 class CachedRoute:
-    """A cached source route with its advertised cost."""
+    """A cached source route with its advertised cost.
+
+    ``cost`` is the protocol's route metric (dimensionless; e.g. hop count
+    for DSR, total transmit power for MTPR, the Eq. 12 energy-aware score
+    for TITAN/DSRH); ``learned_at`` is the installation time in simulation
+    seconds.
+    """
 
     path: tuple[int, ...]
     cost: float
@@ -78,7 +88,8 @@ class RouteCache:
     """Destination -> best known route, with expiry.
 
     Keeps the single best (lowest-cost, then freshest) route per destination,
-    which is what the paper's DSR/MTPR implementations store.
+    which is what the paper's DSR/MTPR implementations store.  ``timeout``
+    is the route lifetime in simulation seconds (DSR's default 300 s).
     """
 
     def __init__(self, sim: Simulator, timeout: float = 300.0) -> None:
@@ -192,10 +203,16 @@ class RoutingProtocol:
 
     # -- helpers -------------------------------------------------------------
     def link_distance(self, neighbor: int) -> float:
+        """Distance to ``neighbor`` in meters (cost inputs, power control)."""
         return self.node.channel.distance(self.node.node_id, neighbor)
 
     def data_tx_distance(self, next_hop: int) -> float | None:
-        """Distance for power-controlled data transmission (None = max power)."""
+        """Distance in meters for power-controlled data transmission.
+
+        None means transmit at maximum power (non-PC presets): the radio
+        spends ``P_base + alpha2 * D^n`` watts instead of tuning to the
+        actual hop length (§2.1).
+        """
         if self.node.power_control:
             return self.link_distance(next_hop)
         return None

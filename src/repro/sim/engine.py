@@ -8,6 +8,17 @@ keeping runs fully deterministic.  Randomness is provided through named
 component (MAC backoff, traffic jitter, TITAN coin flips) can draw without
 perturbing the others — re-running with the same seed reproduces the run
 exactly regardless of which subsystems are enabled.
+
+This per-seed determinism is what lets the parallel orchestrator
+(:mod:`repro.experiments.parallel`) promise bit-identical results whether a
+sweep runs serially or fanned out across processes: a cell's outcome
+depends only on its own master seed, never on scheduling order elsewhere.
+
+Units: all times in this module are **simulation seconds**; the kernel
+itself carries no energy state (joules are accounted by
+:mod:`repro.core.energy_model` from the state residencies the simulation
+produces).  Provenance: the kernel replaces the ns-2 scheduler used for the
+paper's §5.2 evaluation.
 """
 
 from __future__ import annotations
@@ -103,7 +114,7 @@ class Simulator:
     def schedule(
         self, delay: float, callback: Callable[[], None], priority: int = 0
     ) -> EventHandle:
-        """Schedule ``callback`` to run ``delay`` seconds from now.
+        """Schedule ``callback`` to run ``delay`` simulation seconds from now.
 
         Lower ``priority`` values fire earlier among same-time events.
         """
@@ -116,7 +127,7 @@ class Simulator:
     def schedule_at(
         self, time: float, callback: Callable[[], None], priority: int = 0
     ) -> EventHandle:
-        """Schedule ``callback`` at absolute simulation ``time``."""
+        """Schedule ``callback`` at absolute simulation ``time`` (seconds)."""
         if time < self._now:
             raise SimulationError(
                 "cannot schedule at %r, now is %r" % (time, self._now)
@@ -143,9 +154,11 @@ class Simulator:
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
-        When stopping at ``until``, the clock is advanced to exactly ``until``
-        so that passive-time accounting (idle/sleep energy) covers the full
-        horizon even if the last event fired earlier.
+        ``until`` is an absolute simulation time in seconds.  When stopping
+        at ``until``, the clock is advanced to exactly ``until`` so that
+        passive-time accounting (idle/sleep energy, charged in joules by the
+        energy ledgers) covers the full horizon even if the last event fired
+        earlier.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
@@ -177,7 +190,9 @@ class Timer:
     """A restartable one-shot timer (keep-alive timers, route timeouts).
 
     Restarting an armed timer cancels the previous expiry, which is exactly
-    the semantics ODPM needs for its keep-alive behaviour.
+    the semantics ODPM's keep-alive behaviour needs (§2.2 / [25]): each
+    communication event extends the node's stay in active mode.  All delays
+    are simulation seconds.
     """
 
     def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
@@ -198,7 +213,7 @@ class Timer:
         return None
 
     def restart(self, delay: float) -> None:
-        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        """(Re)arm the timer to fire ``delay`` simulation seconds from now."""
         self.cancel()
         self._handle = self._sim.schedule(delay, self._fire)
 

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "steiner_design.py",
     "custom_protocol.py",
     "lifetime_analysis.py",
+    "parallel_sweep.py",
 ]
 
 
