@@ -34,6 +34,29 @@ def test_bench_engine_event_throughput(benchmark):
     assert events == 10_000
 
 
+def test_bench_timer_restart_churn(benchmark):
+    """Timer.restart churn: cancellation skip-count and heap compaction.
+
+    This is the ODPM keep-alive pattern — every communication event re-arms
+    a timer, leaving a dead heap entry behind.  The kernel must absorb the
+    churn without the queue (or pop cost) growing with restart count.
+    """
+    from repro.sim.engine import Timer
+
+    def run():
+        sim = Simulator()
+        timers = [Timer(sim, lambda: None) for _ in range(100)]
+        for round_no in range(50):
+            for timer in timers:
+                timer.restart(1.0 + round_no * 1e-3)
+        peak = sim.queue_size()
+        sim.run()
+        return peak
+
+    peak = benchmark(run)
+    assert peak < 100 + 2 * 64 + 2  # live timers + bounded dead entries
+
+
 def test_bench_mac_unicast_transaction(benchmark):
     """RTS/CTS/DATA/ACK round trips between two nodes."""
 

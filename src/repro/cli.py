@@ -10,6 +10,8 @@ Usage::
     python -m repro sweep --scenario grid --jobs 4 --cache-dir ~/.cache/repro
     python -m repro run --protocol TITAN-PC --rate 4 --nodes 40
     python -m repro lifetime --protocol TITAN-PC
+    python -m repro perf --out BENCH_kernel.json
+    python -m repro fig9 --scale smoke --profile
 
 Figures render as ASCII plots (see :mod:`repro.metrics.plotting`); tables
 print aligned rows.  ``--scale`` selects ``smoke`` (seconds), ``bench``
@@ -22,6 +24,12 @@ runs from a persistent result store) and ``--progress`` (per-cell
 progress/ETA on stderr).  ``run`` and ``lifetime`` execute a single ad hoc
 simulation and take neither.  See :mod:`repro.experiments.parallel` and
 :mod:`repro.experiments.store`.
+
+Every command also accepts ``--profile`` (cProfile the command, print a
+top-25 hot-spot report to stderr; add ``--profile-dump PATH`` to keep the
+raw stats), and ``perf`` runs the kernel-throughput benchmarks that CI
+records as ``BENCH_kernel.json``.  See :mod:`repro.perf` and
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -326,6 +334,26 @@ def _cmd_validate(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_perf(args: argparse.Namespace) -> None:
+    from repro.perf import (
+        format_benchmark_report,
+        run_kernel_benchmarks,
+        write_benchmark_report,
+    )
+
+    report = run_kernel_benchmarks(
+        events=args.events,
+        timers=args.timers,
+        restarts=args.restarts,
+        rate_kbps=args.rate,
+        seed=args.seed,
+    )
+    print(format_benchmark_report(report))
+    if args.out:
+        write_benchmark_report(report, args.out)
+        print("report written to %s" % args.out)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser with one subcommand per artifact."""
     parser = argparse.ArgumentParser(
@@ -335,11 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add(name, func, help_text):
+    def add(name, func, help_text, scale=True):
         p = sub.add_parser(name, help=help_text)
         p.set_defaults(func=func)
-        p.add_argument("--scale", choices=("smoke", "bench", "paper"),
-                       default="bench")
+        if scale:
+            p.add_argument("--scale", choices=("smoke", "bench", "paper"),
+                           default="bench")
+        p.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print a top-25 hot-spot "
+                            "report to stderr when the command finishes")
+        p.add_argument("--profile-dump", default=None, metavar="PATH",
+                       help="dump raw pstats data to PATH for "
+                            "python -m pstats / snakeviz (implies --profile)")
         return p
 
     def add_sim(name, func, help_text):
@@ -382,6 +417,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     add("validate", _cmd_validate, "check every reproduced paper claim")
 
+    # No --scale: the benchmark workloads are fixed so reports stay
+    # comparable across PRs (the fig8 cell is always the smoke preset).
+    perf_parser = add("perf", _cmd_perf,
+                      "kernel throughput benchmarks (BENCH_kernel.json)",
+                      scale=False)
+    perf_parser.add_argument("--out", default=None, metavar="PATH",
+                             help="write the JSON report to PATH")
+    perf_parser.add_argument("--events", type=int, default=200_000,
+                             help="events for the bare-scheduler benchmark")
+    perf_parser.add_argument("--timers", type=int, default=200,
+                             help="timers for the restart-churn benchmark")
+    perf_parser.add_argument("--restarts", type=int, default=100,
+                             help="restart rounds for the churn benchmark")
+    perf_parser.add_argument("--rate", type=float, default=8.0,
+                             help="fig8-cell rate in Kbit/s")
+    perf_parser.add_argument("--seed", type=int, default=1)
+
     run_parser = add("run", _cmd_run, "run one ad hoc scenario")
     lifetime_parser = add("lifetime", _cmd_lifetime,
                           "network lifetime extrapolation")
@@ -400,7 +452,15 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
+    if getattr(args, "profile", False) or getattr(args, "profile_dump", None):
+        from repro.perf import print_profile_report, profile_call
+
+        _, report = profile_call(
+            lambda: args.func(args), dump_path=args.profile_dump
+        )
+        print_profile_report(report, dump_path=args.profile_dump)
+    else:
+        args.func(args)
     return 0
 
 

@@ -24,13 +24,18 @@ from typing import Iterable, Mapping, Sequence
 from repro.core.radio import RadioModel, RadioState
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeEnergy:
     """Per-node energy ledger following Eqs. 1–3.
 
     The simulator charges the ledger as the radio changes state; analytic code
     may charge it directly via the ``charge_*`` methods.  All energies are in
     joules, durations in seconds.
+
+    The ``charge_*`` methods are the single hottest call family in a run
+    (one call per radio state change, millions per simulated network
+    lifetime), so the class is slotted and the duration guard is inlined
+    rather than delegated.
     """
 
     card: RadioModel
@@ -55,7 +60,8 @@ class NodeEnergy:
         ``distance`` selects the transmit power under power control; ``None``
         means maximum power.  Returns the energy charged.
         """
-        self._check_duration(duration)
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
         energy = duration * self.card.power(RadioState.TRANSMIT, distance)
         self.data_tx += energy
         self.state_time[RadioState.TRANSMIT] += duration
@@ -63,7 +69,8 @@ class NodeEnergy:
 
     def charge_data_rx(self, duration: float) -> float:
         """Charge a data reception lasting ``duration`` seconds."""
-        self._check_duration(duration)
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
         energy = duration * self.card.p_rx
         self.data_rx += energy
         self.state_time[RadioState.RECEIVE] += duration
@@ -76,7 +83,8 @@ class NodeEnergy:
         state time; used for control exchanges modeled out-of-band (ATIM
         announcements), so that state-time conservation still holds.
         """
-        self._check_duration(duration)
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
         energy = duration * self.card.p_tx_max
         self.control_tx += energy
         if track_time:
@@ -85,7 +93,8 @@ class NodeEnergy:
 
     def charge_control_rx(self, duration: float, track_time: bool = True) -> float:
         """Charge a control reception lasting ``duration`` seconds."""
-        self._check_duration(duration)
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
         energy = duration * self.card.p_rx
         self.control_rx += energy
         if track_time:
@@ -94,7 +103,8 @@ class NodeEnergy:
 
     def charge_idle(self, duration: float) -> float:
         """Charge idle time."""
-        self._check_duration(duration)
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
         energy = duration * self.card.p_idle
         self.idle += energy
         self.state_time[RadioState.IDLE] += duration
@@ -102,7 +112,8 @@ class NodeEnergy:
 
     def charge_sleep(self, duration: float) -> float:
         """Charge sleep time."""
-        self._check_duration(duration)
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
         energy = duration * self.card.p_sleep
         self.sleep += energy
         self.state_time[RadioState.SLEEP] += duration
@@ -115,11 +126,6 @@ class NodeEnergy:
         energy = transitions * self.card.switch_energy
         self.switch += energy
         return energy
-
-    @staticmethod
-    def _check_duration(duration: float) -> None:
-        if duration < 0:
-            raise ValueError("duration must be non-negative")
 
     # ------------------------------------------------------------------
     # Aggregates (the equations)

@@ -32,10 +32,22 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from functools import cached_property
 
 
 class RadioState(Enum):
-    """Operating modes of a wireless interface (Section 2.1)."""
+    """Operating modes of a wireless interface (Section 2.1).
+
+    Members hash by identity (``object.__hash__``): the per-state energy
+    ledgers key dicts by state on the simulation hot path, and the default
+    ``Enum.__hash__`` (a Python-level hash of the member name) dominates
+    those lookups.  Identity hashing is safe because enum members are
+    singletons compared by identity; nothing in this codebase iterates a
+    *set* of members (dict iteration order is insertion order and stays
+    deterministic).
+    """
+
+    __hash__ = object.__hash__
 
     TRANSMIT = "transmit"
     RECEIVE = "receive"
@@ -49,7 +61,11 @@ class PowerMode(Enum):
     In active mode (AM) the card is transmitting, receiving or idling; in
     power-save mode (PSM) the card spends most of its time in the sleep state,
     waking only for beacon/ATIM windows.
+
+    Hashes by identity for the same reason as :class:`RadioState`.
     """
+
+    __hash__ = object.__hash__
 
     ACTIVE = "AM"
     POWER_SAVE = "PSM"
@@ -133,9 +149,16 @@ class RadioModel:
         """Return total transmit power ``P_tx(d) = P_base + P_t(d)`` in watts."""
         return self.p_base + self.transmit_power_level(distance)
 
-    @property
+    @cached_property
     def p_tx_max(self) -> float:
-        """Transmit power at the nominal maximum range (control packets)."""
+        """Transmit power at the nominal maximum range (control packets).
+
+        Cached: every control transmission and every max-power data charge
+        reads it, and recomputing ``alpha2 * D**n`` per read is measurable.
+        (``cached_property`` stores into the instance ``__dict__`` directly,
+        which works on a frozen dataclass and does not affect field-based
+        equality, ``repr`` or ``asdict``.)
+        """
         return self.transmit_power(self.max_range)
 
     def power(self, state: RadioState, distance: float | None = None) -> float:

@@ -1,0 +1,211 @@
+"""Performance observability: profiling helpers and kernel benchmarks.
+
+Two audiences:
+
+* **Humans hunting regressions** — every CLI command accepts ``--profile``,
+  which wraps the command in :mod:`cProfile` and prints a top-N hot-spot
+  report (optionally dumping the raw stats for ``snakeviz``/``pstats``).
+  :func:`profile_call` is the library form of the same thing.
+* **The perf trajectory** — :func:`run_kernel_benchmarks` measures
+  events-per-second throughput of the simulation kernel at three altitudes
+  (bare scheduler, scheduler under timer-restart churn, and a full §5.2
+  fig8-style cell) and :func:`write_benchmark_report` serializes the result
+  to ``BENCH_kernel.json``.  CI runs ``python -m repro perf`` on every push
+  and uploads that file as an artifact, so each PR records the throughput
+  it inherited and the throughput it ships.
+
+Wall-clock numbers are machine-dependent; the JSON therefore records the
+interpreter and platform next to every figure.  Events-per-second is the
+metric of record because it is what the ROADMAP's "as fast as the hardware
+allows" north star constrains: a fixed scenario always schedules the same
+event sequence, so throughput differences are pure kernel/hot-path speed.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import sys
+import time
+from typing import Any, Callable, TextIO
+
+#: Bump when the report layout changes.
+BENCH_FORMAT_VERSION = 1
+
+#: Default location of the committed baseline, relative to the repo root.
+DEFAULT_REPORT_PATH = "BENCH_kernel.json"
+
+
+# ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+def profile_call(
+    func: Callable[[], Any],
+    top: int = 25,
+    sort: str = "cumulative",
+    dump_path: str | None = None,
+) -> tuple[Any, str]:
+    """Run ``func`` under :mod:`cProfile`; return ``(result, report)``.
+
+    ``report`` is the top-``top`` table sorted by ``sort`` (any key
+    :mod:`pstats` accepts: ``cumulative``, ``tottime``, ``calls`` ...).
+    ``dump_path`` additionally saves the raw profile for later analysis
+    with ``pstats.Stats(path)`` or snakeviz.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = func()
+    finally:
+        profiler.disable()
+    if dump_path:
+        profiler.dump_stats(dump_path)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return result, buffer.getvalue()
+
+
+def print_profile_report(
+    report: str, dump_path: str | None = None, stream: TextIO | None = None
+) -> None:
+    """Print a :func:`profile_call` report (to stderr by default)."""
+    stream = stream if stream is not None else sys.stderr
+    print(report, file=stream)
+    if dump_path:
+        print(
+            "raw profile dumped to %s (inspect with python -m pstats, or "
+            "snakeviz)" % dump_path,
+            file=stream,
+        )
+
+
+# ----------------------------------------------------------------------
+# Kernel benchmarks
+# ----------------------------------------------------------------------
+def _bench_schedule_fire(events: int) -> dict:
+    """Raw schedule-then-fire throughput of the bare event kernel."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    start = time.perf_counter()
+    schedule = sim.schedule
+    noop = lambda: None  # noqa: E731 - deliberate minimal callback
+    for i in range(events):
+        schedule(i * 1e-6, noop)
+    sim.run()
+    seconds = time.perf_counter() - start
+    return {
+        "events": sim.events_processed,
+        "seconds": seconds,
+        "events_per_second": sim.events_processed / seconds if seconds else 0.0,
+    }
+
+
+def _bench_timer_churn(timers: int, restarts: int) -> dict:
+    """Scheduler throughput under Timer.restart churn.
+
+    Exercises the cancellation skip-count and heap compaction: each restart
+    leaves a dead entry behind, which the naive kernel kept until the end
+    of the run.  Throughput counts restarts + fires per wall second.
+    """
+    from repro.sim.engine import Simulator, Timer
+
+    sim = Simulator()
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    start = time.perf_counter()
+    pool = [Timer(sim, tick) for _ in range(timers)]
+    for round_no in range(restarts):
+        for timer in pool:
+            timer.restart(1.0 + round_no * 1e-3)
+        sim.run(until=0.5 + round_no * 1e-3)
+    sim.run()
+    seconds = time.perf_counter() - start
+    operations = timers * restarts + fired[0]
+    return {
+        "timers": timers,
+        "restarts": restarts,
+        "operations": operations,
+        "seconds": seconds,
+        "events_per_second": operations / seconds if seconds else 0.0,
+        "final_queue_size": sim.queue_size(),
+    }
+
+
+def _bench_fig8_cell(rate_kbps: float, seed: int) -> dict:
+    """Events-per-second of one full fig8 (small-network) smoke cell.
+
+    This is the end-to-end number: kernel dispatch plus channel fan-out,
+    PHY state machine, MAC transactions, routing and energy accounting —
+    the same stack every §5.2 grid cell pays.
+    """
+    from repro.experiments.runner import run_single
+    from repro.experiments.scenarios import small_network
+
+    scenario = small_network(scale="smoke")
+    start = time.perf_counter()
+    result = run_single(scenario, "DSR-ODPM", rate_kbps, seed)
+    seconds = time.perf_counter() - start
+    return {
+        "scenario": "small-network/smoke",
+        "protocol": "DSR-ODPM",
+        "rate_kbps": rate_kbps,
+        "seed": seed,
+        "events": result.events_processed,
+        "seconds": seconds,
+        "events_per_second": (
+            result.events_processed / seconds if seconds else 0.0
+        ),
+        "simulated_seconds_per_second": (
+            scenario.duration / seconds if seconds else 0.0
+        ),
+    }
+
+
+def run_kernel_benchmarks(
+    events: int = 200_000,
+    timers: int = 200,
+    restarts: int = 100,
+    rate_kbps: float = 8.0,
+    seed: int = 1,
+) -> dict:
+    """Run the three kernel benchmarks and return the full report dict."""
+    return {
+        "version": BENCH_FORMAT_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "benchmarks": {
+            "schedule_fire": _bench_schedule_fire(events),
+            "timer_churn": _bench_timer_churn(timers, restarts),
+            "fig8_cell": _bench_fig8_cell(rate_kbps, seed),
+        },
+    }
+
+
+def write_benchmark_report(report: dict, path: str) -> None:
+    """Serialize a :func:`run_kernel_benchmarks` report to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_benchmark_report(report: dict) -> str:
+    """One aligned line per benchmark, for terminal output."""
+    lines = [
+        "Kernel throughput (%s %s, %s)"
+        % (report["implementation"], report["python"], report["platform"])
+    ]
+    for name, entry in sorted(report["benchmarks"].items()):
+        lines.append(
+            "  %-16s %12.0f events/s  (%.3f s)"
+            % (name, entry["events_per_second"], entry["seconds"])
+        )
+    return "\n".join(lines)

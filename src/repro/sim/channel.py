@@ -7,6 +7,17 @@ path-loss model.  Control packets go out at maximum power (full nominal
 range); power-controlled data transmissions reach exactly their target
 distance (the paper assumes infinitely adjustable transmit power).
 
+Positions are static for the lifetime of a simulation, so all geometry is
+precomputed: :meth:`Channel.freeze` (run lazily after the last
+:meth:`Channel.register`) builds one distance-sorted neighbor table per
+node, and :meth:`Channel.in_reach` resolves a transmission's receiver set
+with a single bisect over that table instead of re-checking distances per
+frame.  Receiver order is registration order — the same order the naive
+scan produced — because the order in which ``rx_end`` upcalls fire
+schedules MAC responses and therefore affects event sequence numbers; the
+determinism contract (serial == parallel == cached, bit for bit) depends
+on it.
+
 Reception and interference are resolved by the receiving
 :class:`~repro.sim.phy.Phy` objects: overlapping receptions corrupt each
 other (collision), sleeping or transmitting radios miss frames entirely, and
@@ -18,13 +29,39 @@ ordering preserved by the simulator's tie-breaking.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Iterable, Mapping
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Mapping
 
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.phy import Phy
+
+
+class _NeighborTable:
+    """Static per-node reach table, built once at freeze time.
+
+    ``dists`` is sorted ascending; ``by_dist`` holds ``(rank, phy)`` pairs in
+    the same order, where ``rank`` is the neighbor's registration index so a
+    bisected prefix can be restored to registration order.  ``full`` is the
+    complete in-range receiver list already in registration order — the fast
+    path for maximum-power (control) transmissions.
+    """
+
+    __slots__ = ("dists", "by_dist", "full", "ids")
+
+    def __init__(
+        self,
+        dists: list[float],
+        by_dist: list[tuple[int, "Phy"]],
+        full: list["Phy"],
+        ids: list[int],
+    ) -> None:
+        self.dists = dists
+        self.by_dist = by_dist
+        self.full = full
+        self.ids = ids
 
 
 class Channel:
@@ -53,7 +90,8 @@ class Channel:
         self.positions = dict(positions)
         self.max_range = max_range
         self._phys: dict[int, "Phy"] = {}
-        self._neighbors: dict[int, list[int]] = {}
+        self._tables: dict[int, _NeighborTable] = {}
+        self._frozen = False
         self._distance_cache: dict[tuple[int, int], float] = {}
         self.transmissions_started = 0
 
@@ -61,14 +99,19 @@ class Channel:
     # Registration and geometry
     # ------------------------------------------------------------------
     def register(self, phy: "Phy") -> None:
-        """Attach a node's PHY to the medium."""
+        """Attach a node's PHY to the medium.
+
+        Registration only marks the neighbor tables stale; they are rebuilt
+        lazily by :meth:`freeze` on first use, so assembling an N-node
+        network costs one table build instead of N rebuilds.
+        """
         node_id = phy.node_id
         if node_id not in self.positions:
             raise ValueError("node %r has no position" % node_id)
         if node_id in self._phys:
             raise ValueError("node %r already registered" % node_id)
         self._phys[node_id] = phy
-        self._neighbors.clear()  # topology changed; recompute lazily
+        self._frozen = False  # topology changed; freeze() rebuilds lazily
 
     def distance(self, u: int, v: int) -> float:
         """Euclidean distance between two nodes in meters."""
@@ -80,22 +123,71 @@ class Channel:
             self._distance_cache[key] = cached
         return cached
 
-    def neighbors(self, node_id: int) -> list[int]:
-        """Registered nodes within nominal range of ``node_id``."""
-        if node_id not in self._neighbors:
-            self._neighbors[node_id] = [
-                other
-                for other in self._phys
-                if other != node_id
-                and self.distance(node_id, other) <= self.max_range
-            ]
-        return self._neighbors[node_id]
+    def freeze(self) -> None:
+        """Precompute every node's distance-sorted neighbor table.
 
-    def in_reach(self, src: int, reach: float) -> Iterable["Phy"]:
-        """PHYs of nodes within ``reach`` meters of ``src`` (excluding src)."""
-        for other in self.neighbors(src):
-            if self.distance(src, other) <= reach:
-                yield self._phys[other]
+        Called automatically on first propagation/neighbor use after the
+        last :meth:`register`; call it explicitly after network assembly to
+        front-load the O(N^2) geometry pass.  Registering another PHY
+        un-freezes the channel and the next use re-freezes it.
+        """
+        phys = self._phys
+        max_range = self.max_range
+        distance = self.distance
+        ranks = {node_id: rank for rank, node_id in enumerate(phys)}
+        self._tables = tables = {}
+        # Tables are keyed by position (not registration): the naive scan
+        # answered neighbor queries for any placed node, registered or not.
+        for node_id in self.positions:
+            in_range: list[tuple[float, int, "Phy"]] = []
+            for other, phy in phys.items():
+                if other == node_id:
+                    continue
+                dist = distance(node_id, other)
+                if dist <= max_range:
+                    in_range.append((dist, ranks[other], phy))
+            # Sort by (distance, rank): rank breaks distance ties so the
+            # bisected prefix is reproducible.
+            in_range.sort(key=lambda item: (item[0], item[1]))
+            by_rank = sorted(in_range, key=lambda item: item[1])
+            tables[node_id] = _NeighborTable(
+                dists=[item[0] for item in in_range],
+                by_dist=[(item[1], item[2]) for item in in_range],
+                full=[item[2] for item in by_rank],
+                ids=[item[2].node_id for item in by_rank],
+            )
+        self._frozen = True
+
+    def _table(self, node_id: int) -> _NeighborTable:
+        if not self._frozen:
+            self.freeze()
+        return self._tables[node_id]
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Registered nodes within nominal range of ``node_id``.
+
+        Registration order (the order the naive O(N) scan produced), so all
+        iteration-order-sensitive consumers (PSM announcements, neighbor
+        oracles) see exactly the pre-freeze sequence.
+        """
+        return self._table(node_id).ids
+
+    def in_reach(self, src: int, reach: float) -> list["Phy"]:
+        """PHYs of nodes within ``reach`` meters of ``src`` (excluding src).
+
+        One bisect over the frozen distance table; the common maximum-power
+        case returns the precomputed full neighbor list.  Always in
+        registration order (see module docstring).
+        """
+        table = self._table(src)
+        dists = table.dists
+        if reach >= self.max_range:
+            return table.full
+        count = bisect_right(dists, reach)
+        if count == len(dists):
+            return table.full
+        prefix = sorted(table.by_dist[:count])
+        return [phy for _, phy in prefix]
 
     # ------------------------------------------------------------------
     # Propagation
@@ -113,14 +205,18 @@ class Channel:
         if duration <= 0:
             raise ValueError("transmission duration must be positive")
         self.transmissions_started += 1
-        receivers = list(self.in_reach(src, min(reach, self.max_range)))
-        for phy in receivers:
-            phy.rx_start(packet, src)
+        # Only radios that started tracking the frame get the end-of-frame
+        # upcall; sleeping/transmitting radios miss it entirely, so a PSM
+        # network does not pay per-frame bookkeeping for its sleepers.
+        receivers = [
+            phy for phy in self.in_reach(src, reach) if phy.rx_start(packet, src)
+        ]
+        src_phy = self._phys[src]
 
         def _end() -> None:
             for phy in receivers:
                 phy.rx_end(packet)
-            self._phys[src].tx_end(packet)
+            src_phy.tx_end(packet)
 
         self.sim.schedule(duration, _end)
 

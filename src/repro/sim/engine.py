@@ -1,18 +1,27 @@
 """Discrete-event simulation kernel (the ns-2 scheduler substitute).
 
 A :class:`Simulator` owns a binary-heap event queue and a simulation clock.
-Events are ``(time, priority, sequence, callback)`` tuples; sequence numbers
-break ties so that events scheduled earlier at the same instant fire first,
-keeping runs fully deterministic.  Randomness is provided through named
-:meth:`Simulator.rng` streams seeded from a single master seed, so any
-component (MAC backoff, traffic jitter, TITAN coin flips) can draw without
-perturbing the others — re-running with the same seed reproduces the run
-exactly regardless of which subsystems are enabled.
+Heap entries are ``(time, priority, sequence, event)`` tuples; sequence
+numbers break ties so that events scheduled earlier at the same instant fire
+first, keeping runs fully deterministic.  Because sequence numbers are
+unique, tuple comparison never reaches the event object itself — the heap
+orders entirely on the pre-built ``(time, priority, sequence)`` key in C,
+which is what makes :meth:`Simulator.step` dispatch cheap.  Randomness is
+provided through named :meth:`Simulator.rng` streams seeded from a single
+master seed, so any component (MAC backoff, traffic jitter, TITAN coin
+flips) can draw without perturbing the others — re-running with the same
+seed reproduces the run exactly regardless of which subsystems are enabled.
 
 This per-seed determinism is what lets the parallel orchestrator
 (:mod:`repro.experiments.parallel`) promise bit-identical results whether a
 sweep runs serially or fanned out across processes: a cell's outcome
 depends only on its own master seed, never on scheduling order elsewhere.
+
+Cancelled events are not removed from the heap eagerly (that would be
+O(n)); they are skipped when popped.  The kernel counts dead entries and
+compacts the heap whenever they outnumber the live ones, so timer-restart
+churn (ODPM keep-alives re-arming on every communication event) cannot grow
+the queue beyond O(live events).
 
 Units: all times in this module are **simulation seconds**; the kernel
 itself carries no energy state (joules are accounted by
@@ -23,10 +32,8 @@ paper's §5.2 evaluation.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Callable
 
 
@@ -34,22 +41,31 @@ class SimulationError(RuntimeError):
     """Raised for scheduling misuse (e.g. events in the past)."""
 
 
-@dataclass(order=True)
+#: Dead entries are tolerated until they exceed both this floor and half the
+#: queue; the floor keeps tiny simulations from compacting constantly.
+_COMPACT_MIN_DEAD = 64
+
+
 class _Event:
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """Queued callback.  Ordering lives in the heap-entry tuple, not here."""
+
+    __slots__ = ("time", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -64,7 +80,12 @@ class EventHandle:
 
         Cancelling an already-fired or already-cancelled event is a no-op.
         """
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.fired:
+            self._sim._note_dead()
 
 
 class Simulator:
@@ -77,9 +98,14 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 1) -> None:
-        self._now = 0.0
-        self._queue: list[_Event] = []
-        self._sequence = itertools.count()
+        #: Current simulation time in seconds.  A plain attribute (not a
+        #: property): it is read on every charge/schedule call, and the
+        #: descriptor dispatch of a property is measurable there.  Treat it
+        #: as read-only outside the kernel.
+        self.now = 0.0
+        self._queue: list[tuple[float, int, int, _Event]] = []
+        self._sequence = 0
+        self._dead = 0
         self._seed = seed
         self._rngs: dict[str, random.Random] = {}
         self._running = False
@@ -89,11 +115,6 @@ class Simulator:
     # Clock and randomness
     # ------------------------------------------------------------------
     @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
-
-    @property
     def seed(self) -> int:
         return self._seed
 
@@ -102,11 +123,15 @@ class Simulator:
 
         Streams are seeded as ``hash((master_seed, stream))`` equivalents via
         ``random.Random((seed, stream))`` so distinct names are independent
-        and reproducible.
+        and reproducible.  Callers on hot paths should cache the returned
+        generator rather than re-resolving the stream name per draw.
         """
-        if stream not in self._rngs:
-            self._rngs[stream] = random.Random("%d/%s" % (self._seed, stream))
-        return self._rngs[stream]
+        rng = self._rngs.get(stream)
+        if rng is None:
+            rng = self._rngs[stream] = random.Random(
+                "%d/%s" % (self._seed, stream)
+            )
+        return rng
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -122,30 +147,54 @@ class Simulator:
             raise SimulationError(
                 "cannot schedule %r in the past (delay=%r)" % (callback, delay)
             )
-        return self.schedule_at(self._now + delay, callback, priority)
+        return self.schedule_at(self.now + delay, callback, priority)
 
     def schedule_at(
         self, time: float, callback: Callable[[], None], priority: int = 0
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulation ``time`` (seconds)."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                "cannot schedule at %r, now is %r" % (time, self._now)
+                "cannot schedule at %r, now is %r" % (time, self.now)
             )
-        event = _Event(time, priority, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        event = _Event(time, callback)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heappush(self._queue, (time, priority, sequence, event))
+        return EventHandle(event, self)
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_dead(self) -> None:
+        """Count a newly-dead queue entry; compact when dead outnumber live.
+
+        Compaction keeps the heap O(live events) under timer-restart churn
+        (see :class:`Timer`): without it, every ODPM keep-alive extension
+        would leave a dead entry in the queue for the rest of the run.
+        """
+        self._dead = dead = self._dead + 1
+        queue = self._queue
+        if dead > _COMPACT_MIN_DEAD and dead * 2 > len(queue):
+            # In-place so that a running `run()` loop, which holds a local
+            # reference to the list, sees the compacted heap.
+            queue[:] = [entry for entry in queue if not entry[3].cancelled]
+            heapify(queue)
+            self._dead = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = heappop(queue)[3]
             if event.cancelled:
+                self._dead -= 1
                 continue
-            self._now = event.time
+            event.fired = True
+            self.now = event.time
             self.events_processed += 1
             event.callback()
             return True
@@ -164,26 +213,37 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         fired = 0
+        queue = self._queue
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and fired >= max_events:
                     return
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+                head = queue[0]
+                event = head[3]
+                if event.cancelled:
+                    heappop(queue)
+                    self._dead -= 1
                     continue
-                if until is not None and head.time > until:
+                if until is not None and head[0] > until:
                     break
-                self.step()
+                heappop(queue)
+                event.fired = True
+                self.now = event.time
+                self.events_processed += 1
+                event.callback()
                 fired += 1
-            if until is not None and until > self._now:
-                self._now = until
+            if until is not None and until > self.now:
+                self.now = until
         finally:
             self._running = False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return len(self._queue) - self._dead
+
+    def queue_size(self) -> int:
+        """Raw heap length, dead entries included (compaction diagnostics)."""
+        return len(self._queue)
 
 
 class Timer:
@@ -192,8 +252,11 @@ class Timer:
     Restarting an armed timer cancels the previous expiry, which is exactly
     the semantics ODPM's keep-alive behaviour needs (§2.2 / [25]): each
     communication event extends the node's stay in active mode.  All delays
-    are simulation seconds.
+    are simulation seconds.  The dead entries this churn leaves in the event
+    queue are bounded by the kernel's heap compaction.
     """
+
+    __slots__ = ("_sim", "_callback", "_handle")
 
     def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
         self._sim = sim

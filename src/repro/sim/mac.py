@@ -29,6 +29,7 @@ from repro.core.radio import RadioState
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.packet import (
     BROADCAST,
+    FRAME_SIZES,
     Packet,
     PacketKind,
     make_control_packet,
@@ -44,7 +45,7 @@ CW_MAX = 1023
 TIMEOUT_SLACK = 5e-6
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outgoing:
     packet: Packet
     distance: float | None
@@ -52,7 +53,7 @@ class _Outgoing:
     cw: int = CW_MIN
 
 
-@dataclass
+@dataclass(slots=True)
 class MacStats:
     """Counters kept per MAC for traces, tests and ablations."""
 
@@ -89,6 +90,10 @@ class Mac:
         self.retry_limit = retry_limit
         self.rts_enabled = rts_enabled
         self.stats = MacStats()
+        # Hot-path cache: `_on_phy_receive` runs for every frame this radio
+        # overhears, so the node id is read once here instead of through
+        # the `node_id` property per frame.
+        self._node_id = phy.node_id
 
         self.on_deliver: Callable[[Packet], None] = lambda packet: None
         self.on_link_failure: Callable[[int, Packet], None] = lambda dst, pkt: None
@@ -103,6 +108,14 @@ class Mac:
         self._attempt_pending: EventHandle | None = None
         self._response_queue: deque[tuple[Packet, float]] = deque()
         self._rng = sim.rng("mac-%d" % phy.node_id)
+        #: Response timeouts are fixed per card; precompute them once
+        #: instead of re-deriving ``FRAME_SIZES[kind] * 8 / bandwidth`` per
+        #: transmission.  (Kept as the ladder's exact expression so timeout
+        #: event times — and therefore runs — stay bit-identical.)
+        self._control_times = {
+            kind: FRAME_SIZES[kind] * 8 / phy.card.bandwidth + TIMEOUT_SLACK
+            for kind in (PacketKind.CTS, PacketKind.ACK)
+        }
 
         phy.on_receive = self._on_phy_receive
         phy.on_tx_done = self._on_tx_done
@@ -215,9 +228,7 @@ class Mac:
             )
 
     def _control_time(self, kind: PacketKind) -> float:
-        from repro.sim.packet import FRAME_SIZES
-
-        return FRAME_SIZES[kind] * 8 / self.phy.card.bandwidth + TIMEOUT_SLACK
+        return self._control_times[kind]
 
     def _await_response(self, kind: PacketKind, timeout: float) -> None:
         self._awaiting = kind
@@ -273,11 +284,12 @@ class Mac:
             return  # waiting for ACK
 
     def _on_phy_receive(self, packet: Packet) -> None:
-        if packet.is_broadcast:
+        dst = packet.dst
+        if dst == BROADCAST:
             self.stats.delivered += 1
             self.on_deliver(packet)
             return
-        if packet.dst != self.node_id:
+        if dst != self._node_id:
             return  # overheard; carrier-sense cost already charged by PHY
         kind = packet.kind
         if kind is PacketKind.RTS:

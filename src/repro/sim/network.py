@@ -200,6 +200,11 @@ class WirelessNetwork:
             node.attach_routing(preset.routing(node))
             self.nodes[node_id] = node
 
+        # All PHYs are registered: front-load the one O(N^2) geometry pass
+        # that builds the channel's distance-sorted neighbor tables, so the
+        # first transmission does not pay for it mid-run.
+        self.channel.freeze()
+
         # Neighbor power-mode oracles (PSM-beacon piggybacking stand-in).
         for node_id, node in self.nodes.items():
             for neighbor_id in self.channel.neighbors(node_id):

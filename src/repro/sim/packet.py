@@ -20,7 +20,14 @@ BROADCAST = -1
 
 
 class PacketKind(Enum):
-    """What a frame is, at the granularity energy accounting needs."""
+    """What a frame is, at the granularity energy accounting needs.
+
+    Members hash by identity (see :class:`repro.core.radio.RadioState`):
+    the MAC looks frame sizes up by kind per control exchange, and identity
+    hashing keeps those dict probes at C speed.
+    """
+
+    __hash__ = object.__hash__
 
     DATA = "data"
     RTS = "rts"
@@ -46,13 +53,15 @@ FRAME_SIZES = {
 HEADER_OVERHEAD = 34
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A frame in flight.
 
     ``src``/``dst`` are the MAC-level (one-hop) addresses; ``origin`` and
     ``final_dst`` the end-to-end endpoints for DATA packets.  ``payload``
-    carries routing-protocol structures for ROUTING frames.
+    carries routing-protocol structures for ROUTING frames.  Slotted:
+    thousands of frames are created per simulated second, and every PHY a
+    frame passes reads its fields on the reception hot path.
     """
 
     kind: PacketKind

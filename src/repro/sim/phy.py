@@ -16,6 +16,14 @@ Reception semantics (resolved here, signalled by the channel):
 * A frame also dies if its receiver falls asleep mid-frame.
 * Any audible frame (even one addressed elsewhere) occupies the radio in
   receive state: that is both carrier sense and promiscuous overhearing cost.
+
+Performance notes: the PHY sits on the per-frame fan-out hot path — every
+transmission triggers ``rx_start``/``rx_end`` on every node in reach, which
+makes these methods (and the energy charge they perform per state change)
+the most-called code in a run.  The class is slotted, radio states are
+compared against module-level aliases, and the state-branch ladder that
+used to classify each charge is replaced by a per-state dispatch table
+built once in ``__init__``.
 """
 
 from __future__ import annotations
@@ -27,6 +35,13 @@ from repro.core.radio import RadioModel, RadioState
 from repro.sim.channel import Channel
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
+
+#: Module-level state aliases: ``self._state is _IDLE`` skips the class
+#: attribute walk of ``RadioState.IDLE`` on every hot-path check.
+_TRANSMIT = RadioState.TRANSMIT
+_RECEIVE = RadioState.RECEIVE
+_IDLE = RadioState.IDLE
+_SLEEP = RadioState.SLEEP
 
 
 class Phy:
@@ -48,6 +63,30 @@ class Phy:
         reach-the-receiver power.  1.0 reproduces the paper's idealized
         "infinitely adjustable" assumption.
     """
+
+    __slots__ = (
+        "sim",
+        "channel",
+        "node_id",
+        "card",
+        "energy",
+        "power_margin",
+        "capture_ratio",
+        "_state",
+        "_state_since",
+        "failed",
+        "_tx_packet",
+        "_tx_distance",
+        "_rx_packets",
+        "_rx_corrupted",
+        "_rx_missed",
+        "_chargers",
+        "on_receive",
+        "on_tx_done",
+        "frames_sent",
+        "frames_received",
+        "frames_collided",
+    )
 
     def __init__(
         self,
@@ -75,7 +114,7 @@ class Phy:
         #: only, the conservative 802.11 assumption.
         self.capture_ratio = capture_ratio
 
-        self._state = RadioState.IDLE
+        self._state = _IDLE
         self._state_since = 0.0
         self.failed = False
         self._tx_packet: Packet | None = None
@@ -83,6 +122,17 @@ class Phy:
         self._rx_packets: list[Packet] = []
         self._rx_corrupted: set[int] = set()
         self._rx_missed: set[int] = set()
+
+        #: Per-state charge dispatch, replacing the old if/elif ladder in
+        #: the charge path.  IDLE and SLEEP charge the ledger directly; the
+        #: communication states need the active frame to classify the charge
+        #: as data or control (Eqs. 1–2).
+        self._chargers: dict[RadioState, Callable[[float], object]] = {
+            _IDLE: energy.charge_idle,
+            _SLEEP: energy.charge_sleep,
+            _TRANSMIT: self._charge_transmit,
+            _RECEIVE: self._charge_receive,
+        }
 
         #: Upcall: a frame survived reception (set by the MAC).
         self.on_receive: Callable[[Packet], None] = lambda packet: None
@@ -105,38 +155,41 @@ class Phy:
 
     @property
     def asleep(self) -> bool:
-        return self._state is RadioState.SLEEP
+        return self._state is _SLEEP
 
     @property
     def carrier_busy(self) -> bool:
         """True when the medium is unusable: we are sending, receiving or
         overhearing a frame.  (A sleeping radio cannot assess the carrier;
         the MAC never asks while asleep.)"""
-        return self._state in (RadioState.TRANSMIT, RadioState.RECEIVE)
+        state = self._state
+        return state is _TRANSMIT or state is _RECEIVE
+
+    def _charge_transmit(self, elapsed: float) -> None:
+        """Charge a transmit-state residency by the frame on the air."""
+        packet = self._tx_packet
+        assert packet is not None
+        if packet.is_control:
+            self.energy.charge_control_tx(elapsed)
+        else:
+            self.energy.charge_data_tx(elapsed, self._tx_distance)
+
+    def _charge_receive(self, elapsed: float) -> None:
+        """Charge a receive-state residency by the frame that started it."""
+        rx_packets = self._rx_packets
+        if rx_packets and not rx_packets[0].is_control:
+            self.energy.charge_data_rx(elapsed)
+        else:
+            self.energy.charge_control_rx(elapsed)
 
     def _charge_elapsed(self) -> None:
         """Charge the ledger for time spent in the current state."""
-        elapsed = self.sim.now - self._state_since
-        self._state_since = self.sim.now
+        now = self.sim.now
+        elapsed = now - self._state_since
+        self._state_since = now
         if elapsed <= 0:
             return
-        if self._state is RadioState.IDLE:
-            self.energy.charge_idle(elapsed)
-        elif self._state is RadioState.SLEEP:
-            self.energy.charge_sleep(elapsed)
-        elif self._state is RadioState.TRANSMIT:
-            assert self._tx_packet is not None
-            if self._tx_packet.is_control:
-                self.energy.charge_control_tx(elapsed)
-            else:
-                self.energy.charge_data_tx(elapsed, self._tx_distance)
-        elif self._state is RadioState.RECEIVE:
-            # Charge by the frame that initiated the receive period.
-            control = self._rx_packets[0].is_control if self._rx_packets else True
-            if control:
-                self.energy.charge_control_rx(elapsed)
-            else:
-                self.energy.charge_data_rx(elapsed)
+        self._chargers[self._state](elapsed)
 
     def _set_state(self, state: RadioState) -> None:
         self._charge_elapsed()
@@ -151,14 +204,14 @@ class Phy:
     # ------------------------------------------------------------------
     def sleep(self) -> None:
         """Put the radio to sleep.  Any in-flight receptions are lost."""
-        if self._state is RadioState.SLEEP:
+        if self._state is _SLEEP:
             return
-        if self._state is RadioState.TRANSMIT:
+        if self._state is _TRANSMIT:
             raise RuntimeError("cannot sleep while transmitting")
         for packet in self._rx_packets:
             self._rx_missed.add(packet.uid)
         self._rx_packets.clear()
-        self._set_state(RadioState.SLEEP)
+        self._set_state(_SLEEP)
 
     def wake(self) -> None:
         """Wake the radio into idle state, charging the switching cost.
@@ -167,9 +220,9 @@ class Phy:
         """
         if self.failed:
             return
-        if self._state is not RadioState.SLEEP:
+        if self._state is not _SLEEP:
             return
-        self._set_state(RadioState.IDLE)
+        self._set_state(_IDLE)
         self.energy.charge_switch()
 
     def fail(self) -> None:
@@ -181,13 +234,13 @@ class Phy:
         all arriving frames.
         """
         self.failed = True
-        if self._state is RadioState.TRANSMIT:
+        if self._state is _TRANSMIT:
             return  # tx_end() will park the radio
         for packet in self._rx_packets:
             self._rx_missed.add(packet.uid)
         self._rx_packets.clear()
-        if self._state is not RadioState.SLEEP:
-            self._set_state(RadioState.SLEEP)
+        if self._state is not _SLEEP:
+            self._set_state(_SLEEP)
 
     # ------------------------------------------------------------------
     # Transmission
@@ -202,24 +255,29 @@ class Phy:
         """
         if self.failed:
             raise RuntimeError("node %r: radio has failed" % self.node_id)
-        if self._state is RadioState.SLEEP:
+        state = self._state
+        if state is _SLEEP:
             raise RuntimeError("node %r: transmit while asleep" % self.node_id)
-        if self._state is RadioState.TRANSMIT:
+        if state is _TRANSMIT:
             raise RuntimeError("node %r: already transmitting" % self.node_id)
+        card = self.card
         if packet.is_control:
             distance = None  # control frames always at maximum power
         if distance is not None:
-            reach = min(distance * self.power_margin, self.card.max_range)
+            reach = min(distance * self.power_margin, card.max_range)
             self._tx_distance = reach
         else:
-            reach = self.card.max_range
+            reach = card.max_range
             self._tx_distance = None
-        duration = packet.size_bits / self.card.bandwidth
+        duration = packet.size_bits / card.bandwidth
         # Receptions in progress are trampled by our own transmission.
-        for rx in self._rx_packets:
-            self._rx_missed.add(rx.uid)
-        self._rx_packets.clear()
-        self._set_state(RadioState.TRANSMIT)
+        rx_packets = self._rx_packets
+        if rx_packets:
+            missed = self._rx_missed
+            for rx in rx_packets:
+                missed.add(rx.uid)
+            rx_packets.clear()
+        self._set_state(_TRANSMIT)
         self._tx_packet = packet
         self.frames_sent += 1
         self.channel.begin_transmission(self.node_id, packet, duration, reach)
@@ -228,7 +286,7 @@ class Phy:
     def tx_end(self, packet: Packet) -> None:
         """Channel callback: our transmission completed."""
         assert self._tx_packet is not None and self._tx_packet.uid == packet.uid
-        self._set_state(RadioState.SLEEP if self.failed else RadioState.IDLE)
+        self._set_state(_SLEEP if self.failed else _IDLE)
         self._tx_packet = None
         self._tx_distance = None
         if not self.failed:
@@ -237,30 +295,39 @@ class Phy:
     # ------------------------------------------------------------------
     # Reception (channel callbacks)
     # ------------------------------------------------------------------
-    def rx_start(self, packet: Packet, src: int) -> None:
-        """A frame from ``src`` starts arriving."""
-        if self._state in (RadioState.SLEEP, RadioState.TRANSMIT):
-            self._rx_missed.add(packet.uid)
-            return
-        if self._rx_packets:
+    def rx_start(self, packet: Packet, src: int) -> bool:
+        """A frame from ``src`` starts arriving.
+
+        Returns True when this radio will track the frame (and therefore
+        needs the matching :meth:`rx_end`), False when the frame is missed
+        outright — asleep, transmitting, or out-captured on arrival.  The
+        channel uses the return value to skip the end-of-frame upcall for
+        uninterested radios, which in a PSM network is most of them.
+        """
+        state = self._state
+        if state is _SLEEP or state is _TRANSMIT:
+            return False
+        rx_packets = self._rx_packets
+        if rx_packets:
             self.frames_collided += 1
             verdict = self._capture_verdict(packet, src)
             if verdict == "keep-current":
                 # The ongoing frame powers through; the newcomer is noise.
-                self._rx_missed.add(packet.uid)
-                return
+                return False
+            corrupted = self._rx_corrupted
             if verdict == "capture-new":
                 # The newcomer captures the radio; ongoing frames die.
-                for other in self._rx_packets:
-                    self._rx_corrupted.add(other.uid)
+                for other in rx_packets:
+                    corrupted.add(other.uid)
             else:
                 # Destructive collision: every overlapping frame corrupts.
-                for other in self._rx_packets:
-                    self._rx_corrupted.add(other.uid)
-                self._rx_corrupted.add(packet.uid)
+                for other in rx_packets:
+                    corrupted.add(other.uid)
+                corrupted.add(packet.uid)
         else:
-            self._set_state(RadioState.RECEIVE)
-        self._rx_packets.append(packet)
+            self._set_state(_RECEIVE)
+        rx_packets.append(packet)
+        return True
 
     def _signal_strength(self, src: int) -> float:
         """Relative received power from ``src`` under the 1/d^n model.
@@ -297,23 +364,30 @@ class Phy:
 
     def rx_end(self, packet: Packet) -> None:
         """A frame finishes; decide whether it survived."""
-        if packet.uid in self._rx_missed:
-            self._rx_missed.discard(packet.uid)
+        uid = packet.uid
+        missed = self._rx_missed
+        if uid in missed:
+            missed.discard(uid)
             return
-        if self._state is RadioState.RECEIVE and packet in self._rx_packets:
+        rx_packets = self._rx_packets
+        state = self._state
+        receiving = packet in rx_packets
+        if state is _RECEIVE and receiving:
             # Charge the receive period now, while the frame is still in the
             # list, so the energy is classified by the right packet kind.
             self._charge_elapsed()
-        try:
-            self._rx_packets.remove(packet)
-        except ValueError:
+        if not receiving:
             # Lost mid-frame to sleep or our own transmission.
-            self._rx_corrupted.discard(packet.uid)
+            self._rx_corrupted.discard(uid)
             return
-        corrupted = packet.uid in self._rx_corrupted
-        self._rx_corrupted.discard(packet.uid)
-        if not self._rx_packets and self._state is RadioState.RECEIVE:
-            self._set_state(RadioState.IDLE)
+        rx_packets.remove(packet)
+        corrupted_set = self._rx_corrupted
+        corrupted = uid in corrupted_set
+        corrupted_set.discard(uid)
+        if not rx_packets and state is _RECEIVE:
+            # The receive period was charged above (same instant), so the
+            # state flip skips `_set_state`'s zero-elapsed charge call.
+            self._state = _IDLE
         if corrupted:
             return
         self.frames_received += 1

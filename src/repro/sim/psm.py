@@ -38,13 +38,18 @@ BEACON_INTERVAL = 0.3
 ATIM_WINDOW = 0.02
 
 
-@dataclass
+@dataclass(slots=True)
 class _Member:
     phy: Phy
     mac: Mac
     mode: Callable[[], PowerMode]
     awake_this_interval: bool = False
     expected_broadcasts: int = 0
+    #: ATIM / ATIM-ACK airtimes in seconds, precomputed at registration so
+    #: the per-beacon announcement pass does not re-derive
+    #: ``FRAME_SIZES[kind] * 8 / bandwidth`` per announcement.
+    atim_airtime: float = 0.0
+    ack_airtime: float = 0.0
 
 
 class PsmScheduler:
@@ -89,7 +94,14 @@ class PsmScheduler:
 
         Installs this scheduler as the MAC's ``peer_awake`` oracle.
         """
-        member = _Member(phy=phy, mac=mac, mode=mode)
+        bandwidth = phy.card.bandwidth
+        member = _Member(
+            phy=phy,
+            mac=mac,
+            mode=mode,
+            atim_airtime=FRAME_SIZES[PacketKind.ATIM] * 8 / bandwidth,
+            ack_airtime=FRAME_SIZES[PacketKind.ATIM_ACK] * 8 / bandwidth,
+        )
         self._members[phy.node_id] = member
         mac.peer_awake = self.peer_awake
         mac.broadcast_clear = lambda node_id=phy.node_id: self.broadcast_clear(
@@ -168,12 +180,11 @@ class PsmScheduler:
 
     def _announce(self) -> None:
         """Deterministic ATIM exchange for all buffered traffic."""
-        atim_time = FRAME_SIZES[PacketKind.ATIM] * 8
-        ack_time = FRAME_SIZES[PacketKind.ATIM_ACK] * 8
         for node_id, member in self._members.items():
             mac = member.mac
             announced = False
-            bandwidth = member.phy.card.bandwidth
+            atim_airtime = member.atim_airtime
+            ack_airtime = member.ack_airtime
             for dst in mac.pending_unicast_destinations():
                 peer = self._members.get(dst)
                 if peer is None or peer.mode() is PowerMode.ACTIVE:
@@ -182,19 +193,19 @@ class PsmScheduler:
                 self.atim_announcements += 1
                 peer.awake_this_interval = True
                 announced = True
-                member.phy.energy.charge_control_tx(atim_time / bandwidth, track_time=False)
-                peer.phy.energy.charge_control_rx(atim_time / bandwidth, track_time=False)
-                peer.phy.energy.charge_control_tx(ack_time / bandwidth, track_time=False)
-                member.phy.energy.charge_control_rx(ack_time / bandwidth, track_time=False)
+                member.phy.energy.charge_control_tx(atim_airtime, track_time=False)
+                peer.phy.energy.charge_control_rx(atim_airtime, track_time=False)
+                peer.phy.energy.charge_control_tx(ack_airtime, track_time=False)
+                member.phy.energy.charge_control_rx(ack_airtime, track_time=False)
             if mac.has_pending_broadcast():
                 announced = True
-                member.phy.energy.charge_control_tx(atim_time / bandwidth, track_time=False)
+                member.phy.energy.charge_control_tx(atim_airtime, track_time=False)
                 for neighbor_id in member.phy.channel.neighbors(node_id):
                     peer = self._members.get(neighbor_id)
                     if peer is None or peer.mode() is PowerMode.ACTIVE:
                         continue
                     self.atim_announcements += 1
-                    peer.phy.energy.charge_control_rx(atim_time / bandwidth, track_time=False)
+                    peer.phy.energy.charge_control_rx(atim_airtime, track_time=False)
                     if self.advertised_window:
                         peer.expected_broadcasts += 1
                     else:

@@ -132,6 +132,67 @@ class TestCancellation:
         assert sim.pending() == 1
 
 
+class TestHeapCompaction:
+    """Cancelled events must not grow the heap beyond O(live events)."""
+
+    def test_restart_churn_keeps_heap_bounded(self):
+        # Timer.restart cancels and re-schedules; 10k restarts used to leave
+        # 10k dead entries in the queue for the rest of the run.
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        for _ in range(10_000):
+            timer.restart(1.0)
+        assert sim.pending() == 1
+        # Compaction triggers when dead entries exceed both the floor (64)
+        # and half the queue, so the raw heap stays within a small constant
+        # of the live count.
+        assert sim.queue_size() < 200
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_many_timers_churning(self):
+        sim = Simulator()
+        fired = []
+        timers = [
+            Timer(sim, lambda i=i: fired.append(i)) for i in range(50)
+        ]
+        for round_no in range(100):
+            for timer in timers:
+                timer.restart(1.0 + round_no * 1e-3)
+        assert sim.pending() == 50
+        assert sim.queue_size() < 50 + 2 * 64 + 2
+        sim.run()
+        assert sorted(fired) == list(range(50))
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        order = []
+        handles = []
+        for i in range(300):
+            handles.append(sim.schedule(float(i), lambda i=i: order.append(i)))
+        for handle in handles[::2]:  # cancel 150 of 300: compaction fires
+            handle.cancel()
+        sim.run()
+        assert order == list(range(1, 300, 2))
+
+    def test_cancel_after_fire_does_not_corrupt_dead_count(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # no-op: the event already fired
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending() == 1
+
+    def test_pending_is_queue_minus_dead(self):
+        sim = Simulator()
+        keep = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        drop = [sim.schedule(2.0, lambda: None) for _ in range(10)]
+        for handle in drop:
+            handle.cancel()
+            handle.cancel()  # idempotent: must not double-count
+        assert sim.pending() == 10
+
+
 class TestDeterminism:
     def test_rng_streams_are_reproducible(self):
         a = Simulator(seed=7).rng("mac-1")

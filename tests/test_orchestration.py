@@ -7,6 +7,8 @@ result equality, and actionable mid-grid failure messages.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 import subprocess
@@ -219,6 +221,47 @@ class TestRunGrid:
         assert "[1/2] reused from cache" in lines[0]
         assert "[2/2]" in lines[1] and "ETA" in lines[1]
         assert reporter.done == 2
+
+
+class TestDeterminismContract:
+    """The simulator's observable output is pinned bit-for-bit.
+
+    The digest below was recorded from the PR 1 hot path *before* the
+    kernel/channel/PHY optimizations and must survive any change that
+    claims to be a pure performance improvement.  If a PR intentionally
+    changes simulation behaviour, re-record the digest AND bump
+    ``repro.experiments.store.CACHE_FORMAT_VERSION`` so stale cached runs
+    are invalidated; bumping the version is NOT needed for payload-shape
+    churn alone (the digest only covers ``RunResult.to_payload()``).
+    """
+
+    #: sha256 of the canonical-JSON payload of the fig8 (small-network,
+    #: smoke scale) cell at (DSR-ODPM, 8 Kbit/s, seed 1).
+    FIG8_CELL_DIGEST = (
+        "e7f78a1e177bf4fa28276f333aedf61afe16c8e0c6c2ef3d84136795be3a86bc"
+    )
+
+    @staticmethod
+    def _digest(payload: dict) -> str:
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def test_fig8_cell_digest_pinned(self):
+        from repro.experiments.scenarios import small_network
+
+        scenario = small_network(scale="smoke")
+        result = run_single(scenario, "DSR-ODPM", 8.0, seed=1)
+        assert self._digest(result.to_payload()) == self.FIG8_CELL_DIGEST
+
+    def test_digest_survives_payload_roundtrip(self):
+        from repro.metrics.collectors import RunResult
+
+        scenario = grid_network(scale="smoke").scaled(duration=10.0, runs=1)
+        result = run_single(scenario, "DSR-ODPM", 2.0, seed=1)
+        clone = RunResult.from_payload(result.to_payload())
+        assert self._digest(clone.to_payload()) == self._digest(
+            result.to_payload()
+        )
 
 
 class TestFailureReporting:
