@@ -25,17 +25,29 @@ progress/ETA on stderr).  ``run`` and ``lifetime`` execute a single ad hoc
 simulation and take neither.  See :mod:`repro.experiments.parallel` and
 :mod:`repro.experiments.store`.
 
+Every grid-backed command also accepts ``--mobility VMAX``
+(random-waypoint movement, speeds 1–VMAX m/s) and ``--churn N`` (N relay
+failures mid-run), turning any static preset into a dynamic-topology
+variant — see :mod:`repro.sim.mobility` and ``docs/scenarios.md``.  The
+``sweep`` command's ``--scenario`` choices include the dynamic presets
+``mobile`` and ``churn-grid``; ``run`` and ``lifetime`` stay static-only.
+
 Every command also accepts ``--profile`` (cProfile the command, print a
 top-25 hot-spot report to stderr; add ``--profile-dump PATH`` to keep the
 raw stats), and ``perf`` runs the kernel-throughput benchmarks that CI
 records as ``BENCH_kernel.json``.  See :mod:`repro.perf` and
 ``docs/performance.md``.
+
+``cli-doc`` regenerates ``docs/cli.md`` from this parser tree; a drift
+test (``tests/test_docs.py``) fails when the committed doc goes stale.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from dataclasses import replace
 from typing import Callable
 
 from repro.core.analytical import fig7_curves
@@ -44,13 +56,16 @@ from repro.experiments.runner import frozen_route_goodput, sweep
 from repro.experiments.scenarios import (
     HIGH_RATES_KBPS,
     Scenario,
+    churn_grid,
     density_network,
     grid_network,
     large_network,
+    mobile_small,
     small_network,
 )
 from repro.experiments.store import ResultStore
 from repro.metrics.plotting import AsciiPlot, figure_from_sweep
+from repro.sim.mobility import MobilitySpec
 
 #: ``--scenario`` choices of the ``sweep`` command.
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
@@ -59,6 +74,8 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "grid": grid_network,
     "density300": lambda scale: density_network(300, scale=scale),
     "density400": lambda scale: density_network(400, scale=scale),
+    "mobile": mobile_small,
+    "churn-grid": churn_grid,
 }
 
 
@@ -66,6 +83,28 @@ def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
     """Build the result store requested by ``--cache-dir``, if any."""
     cache_dir = getattr(args, "cache_dir", None)
     return ResultStore(cache_dir) if cache_dir else None
+
+
+def _apply_dynamics(scenario: Scenario, args: argparse.Namespace) -> Scenario:
+    """Overlay the ``--mobility`` / ``--churn`` knobs onto a preset.
+
+    ``--mobility VMAX`` attaches random-waypoint movement (1–VMAX m/s,
+    10 s pauses, 1 s ticks); ``--churn N`` schedules N relay failures in
+    the middle of the run.  Both change the result-store cell key, so
+    cached static results are never confused with dynamic ones.
+    """
+    vmax = getattr(args, "mobility", None)
+    if vmax:
+        scenario = replace(
+            scenario,
+            mobility=MobilitySpec(
+                v_min=min(1.0, float(vmax)), v_max=float(vmax), pause=10.0
+            ),
+        )
+    failures = getattr(args, "churn", None)
+    if failures:
+        scenario = scenario.with_churn(failures=failures)
+    return scenario
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -99,7 +138,7 @@ def _cmd_fig7(args: argparse.Namespace) -> None:
 
 def _field_figure(args: argparse.Namespace, metric: str, title: str,
                   scenario_factory) -> None:
-    scenario = scenario_factory(scale=args.scale)
+    scenario = _apply_dynamics(scenario_factory(scale=args.scale), args)
     rates = scenario.rates_kbps if args.scale == "paper" else (2.0, 4.0, 6.0)
     grid = sweep(scenario, rates_kbps=rates, jobs=args.jobs,
                  store=_store_from_args(args), progress=args.progress)
@@ -148,7 +187,7 @@ def _cmd_fig10(args: argparse.Namespace) -> None:
     )
     for label, factory in (("500x500", small_network),
                            ("1300x1300", large_network)):
-        scenario = factory(scale=args.scale)
+        scenario = _apply_dynamics(factory(scale=args.scale), args)
         # One orchestrated grid per scenario so --jobs spans the whole
         # protocol x rate x seed block, not one run_many at a time.
         grid = sweep(scenario, protocols=protocols, rates_kbps=rates,
@@ -167,7 +206,9 @@ def _cmd_table2(args: argparse.Namespace) -> None:
     print("%-8s %-14s %-22s %-22s" % ("# nodes", "Protocol",
                                       "Delivery ratio", "Goodput (bit/J)"))
     for node_count in (300, 400):
-        scenario = density_network(node_count, scale=args.scale)
+        scenario = _apply_dynamics(
+            density_network(node_count, scale=args.scale), args
+        )
         grid = sweep(scenario, rates_kbps=(4.0,), jobs=args.jobs,
                      store=store, progress=args.progress)
         for protocol in scenario.protocols:
@@ -186,10 +227,13 @@ def _grid_figure(args: argparse.Namespace, rates, scheduling: str,
                  title: str) -> None:
     from repro.experiments.parallel import discover_routes
 
-    scenario = grid_network(scale=args.scale)
+    scenario = _apply_dynamics(grid_network(scale=args.scale), args)
     store = _store_from_args(args)
     # The probe simulations are the expensive half; fan them out across
     # --jobs workers (and the route cache) before the analytic pass.
+    # With --mobility/--churn the probe runs under the dynamic topology,
+    # while the frozen-route energy evaluation stays on the *initial*
+    # placement — routes are frozen at probe end by definition (§5.2.3).
     routes_map = discover_routes(
         scenario, scenario.protocols, jobs=args.jobs, store=store,
         progress=args.progress,
@@ -282,7 +326,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
-    scenario = SCENARIOS[args.scenario](scale=args.scale)
+    scenario = _apply_dynamics(SCENARIOS[args.scenario](scale=args.scale), args)
     protocols = tuple(args.protocols) if args.protocols else None
     rates = tuple(args.rates) if args.rates else None
     store = _store_from_args(args)
@@ -334,6 +378,61 @@ def _cmd_validate(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def render_cli_reference() -> str:
+    """The ``docs/cli.md`` contents, generated from the argparse tree.
+
+    Renders the top-level ``--help`` plus one section per subcommand, at a
+    pinned 80-column width (argparse wraps help text to the terminal via
+    the ``COLUMNS`` environment variable; pinning it makes the output — and
+    therefore the drift test in ``tests/test_docs.py`` — deterministic).
+    """
+    previous = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "80"
+    try:
+        parser = build_parser()
+        sections = [
+            "# `repro` CLI reference",
+            "",
+            "<!-- Generated by `python -m repro cli-doc`. Do not edit by "
+            "hand: tests/test_docs.py fails when this file drifts from "
+            "the argparse tree. -->",
+            "",
+            "## repro",
+            "",
+            "```text",
+            parser.format_help().rstrip(),
+            "```",
+        ]
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        for name, sub in subparsers.choices.items():
+            sections += [
+                "",
+                "## repro %s" % name,
+                "",
+                "```text",
+                sub.format_help().rstrip(),
+                "```",
+            ]
+        return "\n".join(sections) + "\n"
+    finally:
+        if previous is None:
+            del os.environ["COLUMNS"]
+        else:
+            os.environ["COLUMNS"] = previous
+
+
+def _cmd_cli_doc(args: argparse.Namespace) -> None:
+    """Write the generated CLI reference to ``--out``."""
+    reference = render_cli_reference()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(reference)
+    print("CLI reference written to %s" % args.out)
+
+
 def _cmd_perf(args: argparse.Namespace) -> None:
     from repro.perf import (
         format_benchmark_report,
@@ -352,6 +451,26 @@ def _cmd_perf(args: argparse.Namespace) -> None:
     if args.out:
         write_benchmark_report(report, args.out)
         print("report written to %s" % args.out)
+
+
+def _mobility_vmax(text: str) -> float:
+    """argparse type for ``--mobility``: a positive speed in m/s."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "VMAX must be a positive speed in m/s, got %s" % text
+        )
+    return value
+
+
+def _churn_count(text: str) -> int:
+    """argparse type for ``--churn``: at least one failure."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "N must be at least 1 failure, got %s" % text
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -388,6 +507,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "reused instead of re-simulated")
         p.add_argument("--progress", action="store_true",
                        help="per-cell progress/ETA on stderr")
+        p.add_argument("--mobility", type=_mobility_vmax, default=None,
+                       metavar="VMAX",
+                       help="random-waypoint mobility with speeds up to "
+                            "VMAX m/s (10 s pauses, 1 s position ticks)")
+        p.add_argument("--churn", type=_churn_count, default=None,
+                       metavar="N",
+                       help="crash N relay nodes mid-run (flow endpoints "
+                            "never fail)")
         return p
 
     add("table1", _cmd_table1, "radio card parameters")
@@ -433,6 +560,13 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--rate", type=float, default=8.0,
                              help="fig8-cell rate in Kbit/s")
     perf_parser.add_argument("--seed", type=int, default=1)
+
+    doc_parser = add("cli-doc", _cmd_cli_doc,
+                     "regenerate docs/cli.md from this parser tree",
+                     scale=False)
+    doc_parser.add_argument("--out", default="docs/cli.md", metavar="PATH",
+                            help="where to write the CLI reference "
+                                 "(default: docs/cli.md)")
 
     run_parser = add("run", _cmd_run, "run one ad hoc scenario")
     lifetime_parser = add("lifetime", _cmd_lifetime,

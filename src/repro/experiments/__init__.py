@@ -36,26 +36,32 @@ from repro.experiments.scenarios import (
     GRID_PROTOCOLS,
     HIGH_RATES_KBPS,
     Scenario,
+    churn_grid,
     density_network,
     grid_network,
     large_network,
+    mobile_small,
     small_network,
 )
+from repro.sim.mobility import ChurnSpec, MobilitySpec
 
 __all__ = [
     "CLAIMS",
     "Claim",
     "ClaimResult",
+    "ChurnSpec",
     "FIELD_PROTOCOLS",
     "FrozenRoutePoint",
     "GRID_PROTOCOLS",
     "GridCell",
     "GridCellError",
     "HIGH_RATES_KBPS",
+    "MobilitySpec",
     "ProgressReporter",
     "ResultStore",
     "Scenario",
     "cell_key",
+    "churn_grid",
     "density_network",
     "discover_routes",
     "frozen_route_goodput",
@@ -63,6 +69,7 @@ __all__ = [
     "grid_cells",
     "grid_network",
     "large_network",
+    "mobile_small",
     "print_report",
     "routes_key",
     "run_grid",

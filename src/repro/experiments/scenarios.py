@@ -1,6 +1,6 @@
-"""Scenario presets for every experiment in §5.2.
+"""Scenario presets: the §5.2 experiments plus dynamic-topology variants.
 
-Each preset mirrors one evaluation setup of the paper:
+Each static preset mirrors one evaluation setup of the paper:
 
 * :func:`small_network` — Figs. 8–10: 50 nodes, 500x500 m^2, 10 CBR flows,
   2–6 Kbit/s, 900 s, 5 runs, Cabletron card.
@@ -10,11 +10,22 @@ Each preset mirrors one evaluation setup of the paper:
 * :func:`grid_network` — Figs. 13–16: 49 nodes on a 7x7 grid in
   300x300 m^2, 7 left-to-right flows, Hypothetical Cabletron card.
 
+Dynamic presets (no paper figure; this repo's extension of the evaluation
+to the changing topologies the protocols were designed for — see
+``docs/scenarios.md``):
+
+* :func:`mobile_small` — the small-network setup under random-waypoint
+  mobility (:mod:`repro.sim.mobility`).
+* :func:`churn_grid` — the grid setup with scripted relay failures
+  mid-run (flow endpoints never fail).
+
 Full paper scale is expensive in a pure-Python simulator, so every scenario
 carries a ``scale`` knob: ``paper`` uses the paper's durations and run
 counts; ``bench`` (the default for the benchmark suite) shortens runs while
 preserving every structural parameter — node count, field size, flow count,
-card, rates.  EXPERIMENTS.md records which scale produced which numbers.
+card, rates.  ``docs/experiments.md`` records which scale produced which
+committed numbers; ``docs/scenarios.md`` catalogs every preset and walks
+through adding a new one.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from repro.net.topology import (
     grid_placement,
     uniform_random_placement,
 )
+from repro.sim.mobility import ChurnSpec, MobilitySpec
 from repro.sim.network import NetworkConfig
 from repro.traffic.flows import FlowSpec, grid_flows, random_flows
 
@@ -70,6 +82,10 @@ class Scenario:
     grid: bool = False
     start_window: tuple[float, float] = (20.0, 25.0)
     protocols: tuple[str, ...] = FIELD_PROTOCOLS
+    #: Random-waypoint mobility; None keeps the topology static (§5.2).
+    mobility: MobilitySpec | None = None
+    #: Scripted relay failures; None injects nothing.
+    churn: ChurnSpec | None = None
 
     def placement(self, seed: int) -> Placement:
         """Placement for a given seed (grid scenarios ignore the seed)."""
@@ -113,10 +129,27 @@ class Scenario:
             flows=self.flows(seed, rate_kbps),
             duration=self.duration,
             seed=seed,
+            mobility=self.mobility,
+            churn=self.churn,
         )
 
     def scaled(self, duration: float, runs: int) -> "Scenario":
         return replace(self, duration=duration, runs=runs)
+
+    def with_mobility(self, spec: MobilitySpec) -> "Scenario":
+        """Random-waypoint variant of this scenario (same geometry/flows)."""
+        return replace(self, mobility=spec)
+
+    def with_churn(self, failures: int, window: tuple[float, float] | None = None) -> "Scenario":
+        """Churn variant: ``failures`` relays crash inside ``window``.
+
+        ``window`` defaults to the middle of the run — [20%, 70%] of the
+        scenario duration — so routes exist before the first crash and
+        repair has time to show in the delivery numbers.
+        """
+        if window is None:
+            window = (0.2 * self.duration, 0.7 * self.duration)
+        return replace(self, churn=ChurnSpec(failures=failures, window=window))
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +222,53 @@ def grid_network(scale: str = "bench") -> Scenario:
         protocols=GRID_PROTOCOLS,
     )
     return _apply_scale(scenario, scale, bench_duration=80.0, bench_runs=2)
+
+
+def mobile_small(scale: str = "bench") -> Scenario:
+    """Small-network setup under random-waypoint mobility (no paper figure).
+
+    Same field, card and workload as :func:`small_network`, but every node
+    moves: waypoints uniform over the field, speeds 1–5 m/s, 10 s pauses,
+    1 s position ticks — a moderate-mobility MANET baseline.  The distinct
+    ``name`` reseeds placement/flows, so this is a new scenario, not a
+    perturbation of the static one.
+    """
+    scenario = Scenario(
+        name="mobile-small",
+        node_count=50,
+        field_size=500.0,
+        flow_count=10,
+        rates_kbps=(2.0, 4.0, 6.0),
+        duration=900.0,
+        runs=5,
+        mobility=MobilitySpec(v_min=1.0, v_max=5.0, pause=10.0, step=1.0),
+    )
+    return _apply_scale(scenario, scale, bench_duration=90.0, bench_runs=2)
+
+
+def churn_grid(scale: str = "bench") -> Scenario:
+    """Grid setup with scripted relay failures mid-run (no paper figure).
+
+    The 7x7 grid of Figs. 13–16 with 5 interior relays crashing between
+    20% and 70% of the run (flow endpoints are never chosen).  Failures
+    turn the radio off and stop energy accrual; DSR-family protocols
+    repair around the holes, and the delivery-under-churn split
+    (``post_churn_delivery`` in the run's dynamics) quantifies how well.
+    """
+    scenario = Scenario(
+        name="churn-grid",
+        node_count=49,
+        field_size=300.0,
+        flow_count=7,
+        rates_kbps=(2.0, 3.0, 4.0),
+        duration=900.0,
+        runs=5,
+        card=HYPOTHETICAL_CABLETRON,
+        grid=True,
+        protocols=GRID_PROTOCOLS,
+    )
+    scenario = _apply_scale(scenario, scale, bench_duration=80.0, bench_runs=2)
+    return scenario.with_churn(failures=5)
 
 
 #: High-rate sweep of Figs. 15–16, Kbit/s.

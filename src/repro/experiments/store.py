@@ -42,8 +42,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
     from repro.experiments.scenarios import Scenario
 
 #: Bump when the simulator's observable behaviour changes so that stale
-#: cached results are never mistaken for current ones.
-CACHE_FORMAT_VERSION = 1
+#: cached results are never mistaken for current ones.  Version 2: the
+#: dynamic-topology subsystem (mobility/churn enter the fingerprint and
+#: dynamic runs carry a ``dynamics`` payload section).
+CACHE_FORMAT_VERSION = 2
 
 
 def scenario_fingerprint(scenario: "Scenario") -> dict:
@@ -65,6 +67,14 @@ def scenario_fingerprint(scenario: "Scenario") -> dict:
         "grid": scenario.grid,
         "start_window": list(scenario.start_window),
         "card": asdict(scenario.card),
+        # Dynamic topology changes a run's outcome exactly like geometry
+        # does, so the specs (or their absence) are part of the key.
+        "mobility": scenario.mobility.fingerprint()
+        if scenario.mobility is not None
+        else None,
+        "churn": scenario.churn.fingerprint()
+        if scenario.churn is not None
+        else None,
     }
 
 

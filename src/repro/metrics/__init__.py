@@ -1,6 +1,10 @@
 """Metrics: per-run results, cross-run statistics, lifetime, plotting."""
 
-from repro.metrics.collectors import RunResult, aggregate_runs
+from repro.metrics.collectors import (
+    RunResult,
+    aggregate_dynamics,
+    aggregate_runs,
+)
 from repro.metrics.lifetime import (
     DEFAULT_BATTERY_JOULES,
     LifetimeReport,
@@ -18,6 +22,7 @@ __all__ = [
     "DEFAULT_BATTERY_JOULES",
     "LifetimeReport",
     "RunResult",
+    "aggregate_dynamics",
     "aggregate_runs",
     "figure_from_sweep",
     "lifetime_from_design",

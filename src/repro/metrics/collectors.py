@@ -4,6 +4,13 @@ A :class:`RunResult` captures everything a single simulation produced:
 flow counters, the network energy breakdown, and protocol overhead counts.
 :func:`aggregate_runs` folds several runs (different seeds) into the
 mean ± 95%-CI records the paper plots.
+
+Dynamic-topology runs (:mod:`repro.sim.mobility`) additionally carry a
+``dynamics`` mapping — link-change counts, position-update volume, failure
+tallies, delivery-under-churn ratios — aggregated across seeds by
+:func:`aggregate_dynamics`.  Static runs leave ``dynamics`` as ``None`` and
+serialize to the exact pre-mobility payload bytes, which is what keeps the
+pinned static digests (see ``tests/test_orchestration.py``) valid.
 """
 
 from __future__ import annotations
@@ -30,6 +37,11 @@ class RunResult:
     control_packets: int = 0
     relays_used: int = 0
     events_processed: int = 0
+    #: Dynamic-topology measurements (``link_changes``,
+    #: ``position_updates``, ``nodes_failed``, ``post_churn_delivery`` …);
+    #: ``None`` for static runs so their payloads stay byte-identical to
+    #: pre-mobility builds.
+    dynamics: dict[str, float] | None = None
 
     @property
     def packets_sent(self) -> int:
@@ -72,9 +84,11 @@ class RunResult:
 
         The payload captures the full run — per-flow counters, the energy
         summary (joules) and overhead counts — so a cached run is
-        indistinguishable from a fresh one.
+        indistinguishable from a fresh one.  The ``dynamics`` key appears
+        only for dynamic-topology runs: static payloads must stay
+        byte-identical to pre-mobility builds (the pinned-digest contract).
         """
-        return {
+        payload = {
             "protocol": self.protocol,
             "seed": self.seed,
             "duration": self.duration,
@@ -93,6 +107,9 @@ class RunResult:
             "relays_used": self.relays_used,
             "events_processed": self.events_processed,
         }
+        if self.dynamics is not None:
+            payload["dynamics"] = dict(self.dynamics)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "RunResult":
@@ -119,6 +136,9 @@ class RunResult:
             control_packets=payload["control_packets"],
             relays_used=payload["relays_used"],
             events_processed=payload["events_processed"],
+            dynamics=dict(payload["dynamics"])
+            if payload.get("dynamics") is not None
+            else None,
         )
 
     @classmethod
@@ -132,6 +152,7 @@ class RunResult:
         control_packets: int = 0,
         relays_used: int = 0,
         events_processed: int = 0,
+        dynamics: dict[str, float] | None = None,
     ) -> "RunResult":
         return cls(
             protocol=protocol,
@@ -142,6 +163,7 @@ class RunResult:
             control_packets=control_packets,
             relays_used=relays_used,
             events_processed=events_processed,
+            dynamics=dynamics,
         )
 
 
@@ -174,3 +196,23 @@ def aggregate_runs(results: Sequence[RunResult]) -> AggregateResult:
         e_network=mean_ci([r.e_network for r in results]),
         control_packets=mean_ci([float(r.control_packets) for r in results]),
     )
+
+
+def aggregate_dynamics(
+    results: Sequence[RunResult],
+) -> dict[str, ConfidenceInterval]:
+    """Mean ± 95% CI per dynamics metric across dynamic-topology runs.
+
+    Folds each key (``link_changes``, ``nodes_failed``,
+    ``post_churn_delivery`` …) over the runs that recorded it, in input
+    order, so the result is deterministic for the usual ascending-seed call.
+    Static runs (``dynamics is None``) contribute nothing; an all-static
+    input returns an empty mapping.
+    """
+    keyed: dict[str, list[float]] = {}
+    for result in results:
+        if not result.dynamics:
+            continue
+        for key, value in result.dynamics.items():
+            keyed.setdefault(key, []).append(float(value))
+    return {key: mean_ci(values) for key, values in sorted(keyed.items())}

@@ -94,6 +94,21 @@ def grid_placement(side: int, width: float, height: float) -> Placement:
     return Placement(positions, width, height)
 
 
+def waypoint_stream(rng: random.Random, width: float, height: float):
+    """Infinite uniform waypoint generator for random-waypoint mobility.
+
+    Yields ``(x, y)`` targets uniform over the ``width x height`` field.
+    Callers (:class:`repro.sim.mobility.RandomWaypointMobility`) pass a
+    per-node RNG derived from the cell seed, so trajectories are a pure
+    function of ``(seed, node_id)`` — the determinism contract's dynamic
+    half.  Distances in meters, like every placement in this module.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("field dimensions must be positive")
+    while True:
+        yield (rng.uniform(0, width), rng.uniform(0, height))
+
+
 def connectivity_graph(
     placement: Placement,
     max_range: float,

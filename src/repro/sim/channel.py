@@ -7,16 +7,25 @@ path-loss model.  Control packets go out at maximum power (full nominal
 range); power-controlled data transmissions reach exactly their target
 distance (the paper assumes infinitely adjustable transmit power).
 
-Positions are static for the lifetime of a simulation, so all geometry is
-precomputed: :meth:`Channel.freeze` (run lazily after the last
-:meth:`Channel.register`) builds one distance-sorted neighbor table per
-node, and :meth:`Channel.in_reach` resolves a transmission's receiver set
-with a single bisect over that table instead of re-checking distances per
-frame.  Receiver order is registration order — the same order the naive
-scan produced — because the order in which ``rx_end`` upcalls fire
-schedules MAC responses and therefore affects event sequence numbers; the
-determinism contract (serial == parallel == cached, bit for bit) depends
-on it.
+Positions are static by default, so all geometry is precomputed:
+:meth:`Channel.freeze` (run lazily after the last :meth:`Channel.register`)
+builds one distance-sorted neighbor table per node, and
+:meth:`Channel.in_reach` resolves a transmission's receiver set with a
+single bisect over that table instead of re-checking distances per frame.
+Receiver order is registration order — the same order the naive scan
+produced — because the order in which ``rx_end`` upcalls fire schedules MAC
+responses and therefore affects event sequence numbers; the determinism
+contract (serial == parallel == cached, bit for bit) depends on it.
+
+Dynamic topologies (:mod:`repro.sim.mobility`) move nodes mid-run through
+:meth:`Channel.update_position`, which repairs the frozen tables
+*incrementally*: the moved node's own table is rebuilt (O(N log N)) and
+every other node's table is patched in place for the single entry that
+changed (O(degree) per table), so a mobility step costs O(moved nodes x N)
+— never the O(N^2) full re-freeze.  Static runs take the freeze-once path
+untouched and stay bit-identical to pre-mobility builds.  Neighbor-set
+changes are counted in :attr:`Channel.link_changes`, the link-churn metric
+surfaced by :class:`~repro.metrics.collectors.RunResult` dynamics.
 
 Reception and interference are resolved by the receiving
 :class:`~repro.sim.phy.Phy` objects: overlapping receptions corrupt each
@@ -40,16 +49,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class _NeighborTable:
-    """Static per-node reach table, built once at freeze time.
+    """Per-node reach table, built at freeze time, patched on position moves.
 
     ``dists`` is sorted ascending; ``by_dist`` holds ``(rank, phy)`` pairs in
     the same order, where ``rank`` is the neighbor's registration index so a
     bisected prefix can be restored to registration order.  ``full`` is the
     complete in-range receiver list already in registration order — the fast
-    path for maximum-power (control) transmissions.
+    path for maximum-power (control) transmissions — with ``ids`` and
+    ``ranks`` parallel to it (``ranks`` ascending, enabling bisected
+    insert/remove when :meth:`Channel.update_position` patches the table).
     """
 
-    __slots__ = ("dists", "by_dist", "full", "ids")
+    __slots__ = ("dists", "by_dist", "full", "ids", "ranks")
 
     def __init__(
         self,
@@ -57,11 +68,56 @@ class _NeighborTable:
         by_dist: list[tuple[int, "Phy"]],
         full: list["Phy"],
         ids: list[int],
+        ranks: list[int],
     ) -> None:
         self.dists = dists
         self.by_dist = by_dist
         self.full = full
         self.ids = ids
+        self.ranks = ranks
+
+    def _place_by_dist(self, rank: int, phy: "Phy", dist: float) -> None:
+        """Insert into the distance-sorted lists at the (dist, rank) slot.
+
+        Among equal distances, rank breaks the tie — the same ordering
+        freeze() produces, which the pinned digests depend on.
+        """
+        index = bisect_right(self.dists, dist)
+        while index > 0 and self.dists[index - 1] == dist and (
+            self.by_dist[index - 1][0] > rank
+        ):
+            index -= 1
+        self.dists.insert(index, dist)
+        self.by_dist.insert(index, (rank, phy))
+
+    def _drop_by_dist(self, rank: int) -> None:
+        """Remove ``rank``'s entry from the distance-sorted lists."""
+        for index, (entry_rank, _) in enumerate(self.by_dist):
+            if entry_rank == rank:
+                del self.dists[index]
+                del self.by_dist[index]
+                return
+
+    def insert(self, rank: int, phy: "Phy", dist: float) -> None:
+        """Add a neighbor, preserving (distance, rank) and rank orderings."""
+        self._place_by_dist(rank, phy, dist)
+        slot = bisect_right(self.ranks, rank)
+        self.ranks.insert(slot, rank)
+        self.full.insert(slot, phy)
+        self.ids.insert(slot, phy.node_id)
+
+    def remove(self, rank: int) -> None:
+        """Drop the neighbor with registration index ``rank``."""
+        self._drop_by_dist(rank)
+        slot = bisect_right(self.ranks, rank) - 1
+        del self.ranks[slot]
+        del self.full[slot]
+        del self.ids[slot]
+
+    def move(self, rank: int, phy: "Phy", dist: float) -> None:
+        """Update a present neighbor's distance, keeping sort invariants."""
+        self._drop_by_dist(rank)
+        self._place_by_dist(rank, phy, dist)
 
 
 class Channel:
@@ -91,9 +147,15 @@ class Channel:
         self.max_range = max_range
         self._phys: dict[int, "Phy"] = {}
         self._tables: dict[int, _NeighborTable] = {}
+        self._ranks: dict[int, int] = {}
         self._frozen = False
         self._distance_cache: dict[tuple[int, int], float] = {}
         self.transmissions_started = 0
+        #: Undirected neighbor links created or broken by position updates
+        #: (mobility churn metric; stays 0 for static topologies).
+        self.link_changes = 0
+        #: Position updates applied since construction (mobility volume).
+        self.position_updates = 0
 
     # ------------------------------------------------------------------
     # Registration and geometry
@@ -131,32 +193,81 @@ class Channel:
         front-load the O(N^2) geometry pass.  Registering another PHY
         un-freezes the channel and the next use re-freezes it.
         """
-        phys = self._phys
-        max_range = self.max_range
-        distance = self.distance
-        ranks = {node_id: rank for rank, node_id in enumerate(phys)}
-        self._tables = tables = {}
+        self._ranks = {node_id: rank for rank, node_id in enumerate(self._phys)}
         # Tables are keyed by position (not registration): the naive scan
         # answered neighbor queries for any placed node, registered or not.
-        for node_id in self.positions:
-            in_range: list[tuple[float, int, "Phy"]] = []
-            for other, phy in phys.items():
+        self._tables = {
+            node_id: self._build_table(node_id) for node_id in self.positions
+        }
+        self._frozen = True
+
+    def _build_table(self, node_id: int) -> _NeighborTable:
+        """Distance-sorted neighbor table of one node at current positions."""
+        max_range = self.max_range
+        distance = self.distance
+        ranks = self._ranks
+        in_range: list[tuple[float, int, "Phy"]] = []
+        for other, phy in self._phys.items():
+            if other == node_id:
+                continue
+            dist = distance(node_id, other)
+            if dist <= max_range:
+                in_range.append((dist, ranks[other], phy))
+        # Sort by (distance, rank): rank breaks distance ties so the
+        # bisected prefix is reproducible.
+        in_range.sort(key=lambda item: (item[0], item[1]))
+        by_rank = sorted(in_range, key=lambda item: item[1])
+        return _NeighborTable(
+            dists=[item[0] for item in in_range],
+            by_dist=[(item[1], item[2]) for item in in_range],
+            full=[item[2] for item in by_rank],
+            ids=[item[2].node_id for item in by_rank],
+            ranks=[item[1] for item in by_rank],
+        )
+
+    def update_position(self, node_id: int, position: tuple[float, float]) -> None:
+        """Move ``node_id`` to ``position``, repairing geometry incrementally.
+
+        The dynamic-topology entry point (driven by
+        :mod:`repro.sim.mobility` timers).  Cached distances involving the
+        node are recomputed, the node's own neighbor table is rebuilt, and
+        every other node's table is patched in place for the one entry that
+        changed — O(N) work per moved node instead of the O(N^2) full
+        re-freeze.  Links that appear or vanish bump :attr:`link_changes`
+        once each (links are undirected; both endpoint tables change
+        together because reach is symmetric).
+        """
+        if node_id not in self.positions:
+            raise ValueError("node %r has no position" % node_id)
+        self.positions[node_id] = position
+        self.position_updates += 1
+        cache = self._distance_cache
+        for other in self.positions:
+            key = (other, node_id) if other <= node_id else (node_id, other)
+            cache.pop(key, None)
+        if not self._frozen:
+            return  # next freeze() rebuilds everything from fresh positions
+        phy = self._phys.get(node_id)
+        if phy is not None:
+            rank = self._ranks[node_id]
+            max_range = self.max_range
+            distance = self.distance
+            for other, table in self._tables.items():
                 if other == node_id:
                     continue
-                dist = distance(node_id, other)
+                dist = distance(other, node_id)
+                slot = bisect_right(table.ranks, rank) - 1
+                present = slot >= 0 and table.ranks[slot] == rank
                 if dist <= max_range:
-                    in_range.append((dist, ranks[other], phy))
-            # Sort by (distance, rank): rank breaks distance ties so the
-            # bisected prefix is reproducible.
-            in_range.sort(key=lambda item: (item[0], item[1]))
-            by_rank = sorted(in_range, key=lambda item: item[1])
-            tables[node_id] = _NeighborTable(
-                dists=[item[0] for item in in_range],
-                by_dist=[(item[1], item[2]) for item in in_range],
-                full=[item[2] for item in by_rank],
-                ids=[item[2].node_id for item in by_rank],
-            )
-        self._frozen = True
+                    if present:
+                        table.move(rank, phy, dist)
+                    else:
+                        table.insert(rank, phy, dist)
+                        self.link_changes += 1
+                elif present:
+                    table.remove(rank)
+                    self.link_changes += 1
+        self._tables[node_id] = self._build_table(node_id)
 
     def _table(self, node_id: int) -> _NeighborTable:
         if not self._frozen:

@@ -1,0 +1,260 @@
+"""Dynamic topology: node mobility and scripted churn (failure) schedules.
+
+The paper's §5.2 evaluation is entirely static, but its protocols — TITAN's
+backbone adaptation, ODPM's route-activity timeouts, DSR/DSDV route repair —
+were designed for networks whose links *change*.  This module supplies the
+two change generators every non-static workload builds on:
+
+* :class:`RandomWaypointMobility` — the classic random-waypoint model: each
+  node repeatedly picks a uniform waypoint in the field
+  (:func:`repro.net.topology.waypoint_stream`), travels toward it in a
+  straight line at a per-leg uniform speed, pauses, and repeats.  Positions
+  advance on a fixed timer tick through
+  :meth:`~repro.sim.channel.Channel.update_position`, which repairs the
+  frozen neighbor tables incrementally (O(moved nodes), never an O(N^2)
+  re-freeze).
+* :class:`ChurnSchedule` — scripted node failures: a deterministic set of
+  victims (flow endpoints excluded) crash at times drawn uniformly from a
+  window.  A failure turns the radio off permanently and stops the node's
+  energy accrual (a dead battery draws nothing).
+
+Both are configured by frozen *spec* dataclasses (:class:`MobilitySpec`,
+:class:`ChurnSpec`) that live on :class:`~repro.sim.network.NetworkConfig`
+and :class:`~repro.experiments.scenarios.Scenario`.  Specs expose a
+:meth:`~MobilitySpec.fingerprint` that enters the result-store cell key
+(:mod:`repro.experiments.store`), so cached runs can never be confused
+across mobility parameters.
+
+Determinism: every random draw flows through the simulator's named RNG
+streams (``mobility/<node>`` per node, ``churn`` for the failure schedule),
+so a mobile cell is a pure function of its master seed — the
+serial == parallel == cached contract holds for dynamic topologies exactly
+as it does for static ones.  Units: speeds in m/s, times in simulation
+seconds, positions in meters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.net.topology import waypoint_stream
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.node import Node
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Random-waypoint mobility parameters (all nodes move).
+
+    Parameters
+    ----------
+    v_min, v_max:
+        Per-leg speed bounds in m/s; each leg draws uniformly from the
+        range.  The classic ``v_min > 0`` guard avoids the RWP speed-decay
+        pathology (legs at speed ~0 never finish).
+    pause:
+        Pause time in seconds at each waypoint before the next leg.
+    step:
+        Position-update tick in seconds; smaller steps are smoother but
+        schedule more events (cost is O(nodes) channel work per tick).
+    """
+
+    v_min: float = 1.0
+    v_max: float = 5.0
+    pause: float = 10.0
+    step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.v_min <= 0 or self.v_max < self.v_min:
+            raise ValueError("need 0 < v_min <= v_max")
+        if self.pause < 0:
+            raise ValueError("pause must be non-negative")
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+
+    def fingerprint(self) -> dict:
+        """JSON-safe parameters for the result-store cell key."""
+        return {
+            "model": "random-waypoint",
+            "v_min": self.v_min,
+            "v_max": self.v_max,
+            "pause": self.pause,
+            "step": self.step,
+        }
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Scripted node-failure schedule parameters.
+
+    ``failures`` victims are drawn (without replacement, flow endpoints
+    excluded) from the node population and crash at times uniform in
+    ``window``.  Fewer candidates than ``failures`` fails as many as exist.
+    """
+
+    failures: int = 1
+    window: tuple[float, float] = (0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.failures < 1:
+            raise ValueError("need at least one failure")
+        if self.window[0] < 0 or self.window[1] < self.window[0]:
+            raise ValueError("window must be ordered and non-negative")
+
+    def fingerprint(self) -> dict:
+        """JSON-safe parameters for the result-store cell key."""
+        return {
+            "model": "scripted-failures",
+            "failures": self.failures,
+            "window": list(self.window),
+        }
+
+
+class RandomWaypointMobility:
+    """Random-waypoint movement for every node of a network.
+
+    Each node runs an independent leg/pause state machine on engine timers,
+    drawing waypoints, speeds and nothing else from its own named RNG
+    stream (``mobility/<node_id>``) so that per-node trajectories are
+    reproducible regardless of event interleaving.  Position updates go
+    through :meth:`Channel.update_position`; :attr:`moves` counts them
+    (also mirrored by :attr:`Channel.position_updates`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        spec: MobilitySpec,
+        width: float,
+        height: float,
+        node_ids: list[int],
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.spec = spec
+        self.width = width
+        self.height = height
+        self.node_ids = list(node_ids)
+        self.moves = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Kick off every node's first leg (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node_id in self.node_ids:
+            rng = self.sim.rng("mobility/%d" % node_id)
+            waypoints = waypoint_stream(rng, self.width, self.height)
+            self._begin_leg(node_id, rng, waypoints)
+
+    def _begin_leg(self, node_id: int, rng, waypoints) -> None:
+        """Pick the next waypoint + speed and schedule the first tick."""
+        spec = self.spec
+        target = next(waypoints)
+        speed = rng.uniform(spec.v_min, spec.v_max)
+        self.sim.schedule(
+            spec.step,
+            lambda: self._tick(node_id, rng, waypoints, target, speed),
+        )
+
+    def _tick(self, node_id: int, rng, waypoints, target, speed) -> None:
+        """Advance one step toward ``target``; pause + re-leg on arrival."""
+        spec = self.spec
+        x, y = self.channel.positions[node_id]
+        tx, ty = target
+        remaining = math.hypot(tx - x, ty - y)
+        hop = speed * spec.step
+        if remaining <= hop:
+            self.channel.update_position(node_id, target)
+            self.moves += 1
+            self.sim.schedule(
+                spec.pause, lambda: self._begin_leg(node_id, rng, waypoints)
+            )
+            return
+        fraction = hop / remaining
+        position = (x + (tx - x) * fraction, y + (ty - y) * fraction)
+        self.channel.update_position(node_id, position)
+        self.moves += 1
+        self.sim.schedule(
+            spec.step,
+            lambda: self._tick(node_id, rng, waypoints, target, speed),
+        )
+
+
+class ChurnSchedule:
+    """Deterministic failure injection over a node population.
+
+    Victims and failure times derive from the ``churn`` RNG stream of the
+    simulator, so the schedule is a pure function of the run's master seed.
+    ``protected`` node ids (typically flow endpoints) are never chosen —
+    killing a source or sink measures nothing but the obvious.
+
+    Attributes
+    ----------
+    executed:
+        ``(time, node_id)`` pairs, appended as each failure fires.
+    on_first_failure:
+        Optional callback invoked (once) just before the first failure —
+        the hook the delivery-under-churn probe snapshots flow counters on.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Mapping[int, "Node"],
+        spec: ChurnSpec,
+        protected: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        self.sim = sim
+        self.nodes = nodes
+        self.spec = spec
+        self.protected = frozenset(protected)
+        self.executed: list[tuple[float, int]] = []
+        self.on_first_failure: Callable[[], None] | None = None
+        self._started = False
+        self._plan: list[tuple[float, int]] | None = None
+
+    def plan(self) -> list[tuple[float, int]]:
+        """The ``(time, node_id)`` schedule this run will execute.
+
+        Deterministic per seed; the ``churn`` RNG stream is drawn exactly
+        once and the result cached, so :meth:`plan` may be inspected before
+        or after :meth:`start` without perturbing the schedule.
+        """
+        if self._plan is None:
+            rng = self.sim.rng("churn")
+            candidates = sorted(
+                node_id
+                for node_id in self.nodes
+                if node_id not in self.protected
+            )
+            count = min(self.spec.failures, len(candidates))
+            victims = rng.sample(candidates, count)
+            times = sorted(rng.uniform(*self.spec.window) for _ in victims)
+            self._plan = list(zip(times, victims))
+        return list(self._plan)
+
+    def start(self) -> None:
+        """Draw the schedule and arm one engine timer per failure."""
+        if self._started:
+            return
+        self._started = True
+        for time, node_id in self.plan():
+            delay = max(0.0, time - self.sim.now)
+            self.sim.schedule(
+                delay, lambda t=time, n=node_id: self._fail(t, n)
+            )
+
+    def _fail(self, time: float, node_id: int) -> None:
+        """Crash one node: radio off forever, energy accrual stopped."""
+        if not self.executed and self.on_first_failure is not None:
+            self.on_first_failure()
+        self.executed.append((time, node_id))
+        self.nodes[node_id].fail(stop_energy=True)

@@ -36,6 +36,12 @@ from repro.routing import (
 from repro.routing.proactive import ProactiveProtocol
 from repro.sim.channel import Channel
 from repro.sim.engine import Simulator
+from repro.sim.mobility import (
+    ChurnSchedule,
+    ChurnSpec,
+    MobilitySpec,
+    RandomWaypointMobility,
+)
 from repro.sim.node import Node
 from repro.sim.psm import NoPsm, PsmScheduler
 from repro.traffic.cbr import CbrSink, CbrSource, FlowStats
@@ -143,6 +149,11 @@ class NetworkConfig:
     atim_window: float = 0.02
     #: Physical-layer capture threshold (power ratio); None = collisions only.
     capture_ratio: float | None = None
+    #: Random-waypoint mobility; None keeps the topology static (the §5.2
+    #: setup) and the run byte-identical to pre-mobility builds.
+    mobility: MobilitySpec | None = None
+    #: Scripted node failures; None injects nothing.
+    churn: ChurnSpec | None = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -225,7 +236,38 @@ class WirelessNetwork:
             sinks[spec.destination].watch(stats)
             CbrSource(self.sim, self.nodes[spec.source], spec, stats)
 
+        # Dynamic topology (mobility / churn), started alongside the nodes.
+        self.mobility: RandomWaypointMobility | None = None
+        if config.mobility is not None:
+            self.mobility = RandomWaypointMobility(
+                self.sim,
+                self.channel,
+                config.mobility,
+                width=config.placement.width,
+                height=config.placement.height,
+                node_ids=config.placement.node_ids,
+            )
+        self.churn: ChurnSchedule | None = None
+        self._churn_snapshot: tuple[int, int] | None = None
+        if config.churn is not None:
+            endpoints = frozenset(
+                node
+                for spec in config.flows
+                for node in (spec.source, spec.destination)
+            )
+            self.churn = ChurnSchedule(
+                self.sim, self.nodes, config.churn, protected=endpoints
+            )
+            self.churn.on_first_failure = self._snapshot_pre_churn
+
         self._started = False
+
+    def _snapshot_pre_churn(self) -> None:
+        """Record flow counters just before the first failure fires."""
+        self._churn_snapshot = (
+            sum(stats.sent for stats in self.flow_stats),
+            sum(stats.received for stats in self.flow_stats),
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -235,6 +277,10 @@ class WirelessNetwork:
             self.psm.start()
             for node in self.nodes.values():
                 node.start()
+            if self.mobility is not None:
+                self.mobility.start()
+            if self.churn is not None:
+                self.churn.start()
         self.sim.run(until=self.config.duration)
         for node in self.nodes.values():
             node.phy.finalize()
@@ -247,7 +293,38 @@ class WirelessNetwork:
             control_packets=self.control_packet_count(),
             relays_used=self.relays_used(),
             events_processed=self.sim.events_processed,
+            dynamics=self._dynamics_summary(),
         )
+
+    def _dynamics_summary(self) -> dict[str, float] | None:
+        """Dynamic-topology measurements, or None for a static run.
+
+        Keys: ``link_changes`` / ``position_updates`` (mobility),
+        ``nodes_failed`` and the delivery-under-churn split — packets sent /
+        delivered after the first failure and the resulting
+        ``post_churn_delivery`` ratio (churn).  Static runs return None so
+        their payloads stay byte-identical to pre-mobility builds.
+        """
+        if self.mobility is None and self.churn is None:
+            return None
+        dynamics: dict[str, float] = {
+            "link_changes": float(self.channel.link_changes),
+            "position_updates": float(self.channel.position_updates),
+        }
+        if self.churn is not None:
+            dynamics["nodes_failed"] = float(len(self.churn.executed))
+            if self._churn_snapshot is not None:
+                pre_sent, pre_received = self._churn_snapshot
+                sent = sum(s.sent for s in self.flow_stats) - pre_sent
+                received = (
+                    sum(s.received for s in self.flow_stats) - pre_received
+                )
+                dynamics["post_churn_sent"] = float(sent)
+                dynamics["post_churn_received"] = float(received)
+                dynamics["post_churn_delivery"] = (
+                    min(1.0, received / sent) if sent > 0 else 0.0
+                )
+        return dynamics
 
     # ------------------------------------------------------------------
     # Derived measures

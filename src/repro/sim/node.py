@@ -136,14 +136,27 @@ class Node:
         if install is not None:
             install(self.channel, self.neighbor_mode)
 
-    def fail(self) -> None:
+    def fail(self, stop_energy: bool = False) -> None:
         """Crash this node (failure injection).
 
         The radio dies permanently; neighbors discover the failure through
         MAC retry exhaustion and the routing layer repairs around it.
+        ``stop_energy`` (used by churn schedules,
+        :class:`repro.sim.mobility.ChurnSchedule`) additionally freezes the
+        node's energy ledger at the failure instant — radio off *and*
+        battery disconnected — instead of the default sleep-power draw.
         """
-        self.phy.fail()
+        self.phy.fail(stop_energy=stop_energy)
 
     @property
     def failed(self) -> bool:
         return self.phy.failed
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current ``(x, y)`` position in meters.
+
+        The channel owns live positions (mobility rewrites them mid-run);
+        this accessor is the node-side view of that single source of truth.
+        """
+        return self.channel.positions[self.node_id]

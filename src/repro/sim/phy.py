@@ -75,6 +75,7 @@ class Phy:
         "_state",
         "_state_since",
         "failed",
+        "_halt_energy",
         "_tx_packet",
         "_tx_distance",
         "_rx_packets",
@@ -117,6 +118,7 @@ class Phy:
         self._state = _IDLE
         self._state_since = 0.0
         self.failed = False
+        self._halt_energy = False
         self._tx_packet: Packet | None = None
         self._tx_distance: float | None = None
         self._rx_packets: list[Packet] = []
@@ -225,22 +227,33 @@ class Phy:
         self._set_state(_IDLE)
         self.energy.charge_switch()
 
-    def fail(self) -> None:
+    def fail(self, stop_energy: bool = False) -> None:
         """Permanently kill this radio (crash / battery-death injection).
 
         The radio drops any reception in progress and sleeps forever; an
         in-flight transmission completes first (the frame was already on the
         air).  Failed radios draw sleep power, cannot transmit and ignore
-        all arriving frames.
+        all arriving frames.  With ``stop_energy`` (churn injection,
+        :mod:`repro.sim.mobility`), the ledger stops accruing entirely from
+        the failure instant — a dead battery draws nothing — implemented by
+        pushing ``_state_since`` to +inf so every later elapsed-time charge
+        (including :meth:`finalize`) is non-positive and skipped; the
+        hot-path charge code needs no extra branch.  Note state-time
+        conservation (occupancy summing to the run duration) only holds up
+        to the failure time for such a node.
         """
         self.failed = True
+        self._halt_energy = self._halt_energy or stop_energy
         if self._state is _TRANSMIT:
-            return  # tx_end() will park the radio
+            return  # tx_end() will park the radio (and halt, if asked)
         for packet in self._rx_packets:
             self._rx_missed.add(packet.uid)
         self._rx_packets.clear()
         if self._state is not _SLEEP:
             self._set_state(_SLEEP)
+        if self._halt_energy:
+            self._charge_elapsed()
+            self._state_since = float("inf")
 
     # ------------------------------------------------------------------
     # Transmission
@@ -287,6 +300,10 @@ class Phy:
         """Channel callback: our transmission completed."""
         assert self._tx_packet is not None and self._tx_packet.uid == packet.uid
         self._set_state(_SLEEP if self.failed else _IDLE)
+        if self._halt_energy:
+            # Failed mid-frame with energy stop: the frame was charged by
+            # the state flip above; nothing accrues after it.
+            self._state_since = float("inf")
         self._tx_packet = None
         self._tx_distance = None
         if not self.failed:

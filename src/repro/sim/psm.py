@@ -123,6 +123,11 @@ class PsmScheduler:
         member = self._members.get(dst)
         if member is None:
             return True  # unknown peers assumed always-on
+        if member.phy.failed:
+            # Dead stations answer nothing, but holding frames for them
+            # would hide the failure from the MAC forever; transmit, burn
+            # the retries, and let on_link_failure trigger route repair.
+            return True
         if member.mode() is PowerMode.ACTIVE:
             return True
         return member.awake_this_interval or self._in_atim
@@ -139,7 +144,10 @@ class PsmScheduler:
         member = self._members[sender]
         for neighbor_id in member.phy.channel.neighbors(sender):
             peer = self._members.get(neighbor_id)
-            if peer is None:
+            if peer is None or peer.phy.failed:
+                # Failed radios never wake again; a broadcast can't reach
+                # them no matter how long it waits, so they must not hold
+                # route-request floods (and with them route repair) hostage.
                 continue
             if peer.phy.asleep:
                 return False
@@ -181,14 +189,23 @@ class PsmScheduler:
     def _announce(self) -> None:
         """Deterministic ATIM exchange for all buffered traffic."""
         for node_id, member in self._members.items():
+            if member.phy.failed:
+                # A dead station announces nothing: frames stranded in its
+                # MAC must not charge its (halted) battery or wake peers.
+                continue
             mac = member.mac
             announced = False
             atim_airtime = member.atim_airtime
             ack_airtime = member.ack_airtime
             for dst in mac.pending_unicast_destinations():
                 peer = self._members.get(dst)
-                if peer is None or peer.mode() is PowerMode.ACTIVE:
-                    announced = True  # sender stays up to transmit to an AM peer
+                if peer is None or peer.phy.failed or (
+                    peer.mode() is PowerMode.ACTIVE
+                ):
+                    # AM peers need no announcement; failed peers get none
+                    # (the sender still stays up so the MAC can transmit
+                    # and discover the dead link through retry exhaustion).
+                    announced = True
                     continue
                 self.atim_announcements += 1
                 peer.awake_this_interval = True
@@ -202,7 +219,9 @@ class PsmScheduler:
                 member.phy.energy.charge_control_tx(atim_airtime, track_time=False)
                 for neighbor_id in member.phy.channel.neighbors(node_id):
                     peer = self._members.get(neighbor_id)
-                    if peer is None or peer.mode() is PowerMode.ACTIVE:
+                    if peer is None or peer.phy.failed or (
+                        peer.mode() is PowerMode.ACTIVE
+                    ):
                         continue
                     self.atim_announcements += 1
                     peer.phy.energy.charge_control_rx(atim_airtime, track_time=False)

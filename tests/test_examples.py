@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "custom_protocol.py",
     "lifetime_analysis.py",
     "parallel_sweep.py",
+    "mobile_sweep.py",
 ]
 
 
