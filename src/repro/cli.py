@@ -29,8 +29,13 @@ Every grid-backed command also accepts ``--mobility VMAX``
 (random-waypoint movement, speeds 1–VMAX m/s) and ``--churn N`` (N relay
 failures mid-run), turning any static preset into a dynamic-topology
 variant — see :mod:`repro.sim.mobility` and ``docs/scenarios.md``.  The
-``sweep`` command's ``--scenario`` choices include the dynamic presets
-``mobile`` and ``churn-grid``; ``run`` and ``lifetime`` stay static-only.
+workload axis is just as pluggable: ``--traffic MODEL[:PARAM=V,...]``
+swaps every flow's generator (``cbr``, ``poisson``, ``onoff``, ``vbr`` —
+see :mod:`repro.traffic.models`) and ``--pattern`` re-selects endpoints
+(``random``, ``convergecast``, ``pairs``).  The ``sweep`` command's
+``--scenario`` choices include the dynamic presets ``mobile`` /
+``churn-grid`` and the workload presets ``bursty`` /
+``convergecast-grid``; ``run`` and ``lifetime`` stay static CBR-only.
 
 Every command also accepts ``--profile`` (cProfile the command, print a
 top-25 hot-spot report to stderr; add ``--profile-dump PATH`` to keep the
@@ -56,7 +61,9 @@ from repro.experiments.runner import frozen_route_goodput, sweep
 from repro.experiments.scenarios import (
     HIGH_RATES_KBPS,
     Scenario,
+    bursty_small,
     churn_grid,
+    convergecast_grid,
     density_network,
     grid_network,
     large_network,
@@ -66,6 +73,8 @@ from repro.experiments.scenarios import (
 from repro.experiments.store import ResultStore
 from repro.metrics.plotting import AsciiPlot, figure_from_sweep
 from repro.sim.mobility import MobilitySpec
+from repro.traffic.flows import FLOW_PATTERNS
+from repro.traffic.models import parse_traffic_spec
 
 #: ``--scenario`` choices of the ``sweep`` command.
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
@@ -76,6 +85,8 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "density400": lambda scale: density_network(400, scale=scale),
     "mobile": mobile_small,
     "churn-grid": churn_grid,
+    "bursty": bursty_small,
+    "convergecast-grid": convergecast_grid,
 }
 
 
@@ -86,12 +97,14 @@ def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
 
 
 def _apply_dynamics(scenario: Scenario, args: argparse.Namespace) -> Scenario:
-    """Overlay the ``--mobility`` / ``--churn`` knobs onto a preset.
+    """Overlay the dynamic-topology and workload knobs onto a preset.
 
     ``--mobility VMAX`` attaches random-waypoint movement (1–VMAX m/s,
     10 s pauses, 1 s ticks); ``--churn N`` schedules N relay failures in
-    the middle of the run.  Both change the result-store cell key, so
-    cached static results are never confused with dynamic ones.
+    the middle of the run; ``--traffic MODEL[:P=V,...]`` swaps every
+    flow's generator; ``--pattern`` re-selects endpoints.  All four change
+    the result-store cell key, so cached runs are never confused across
+    variants.
     """
     vmax = getattr(args, "mobility", None)
     if vmax:
@@ -104,6 +117,12 @@ def _apply_dynamics(scenario: Scenario, args: argparse.Namespace) -> Scenario:
     failures = getattr(args, "churn", None)
     if failures:
         scenario = scenario.with_churn(failures=failures)
+    traffic = getattr(args, "traffic", None)
+    if traffic is not None:
+        scenario = scenario.with_traffic(traffic)
+    pattern = getattr(args, "pattern", None)
+    if pattern is not None:
+        scenario = scenario.with_pattern(pattern)
     return scenario
 
 
@@ -234,6 +253,10 @@ def _grid_figure(args: argparse.Namespace, rates, scheduling: str,
     # With --mobility/--churn the probe runs under the dynamic topology,
     # while the frozen-route energy evaluation stays on the *initial*
     # placement — routes are frozen at probe end by definition (§5.2.3).
+    # Likewise --traffic/--pattern shape the probe (which routes
+    # stabilize, and between which endpoints), but the analytic pass
+    # evaluates the frozen routes at each *nominal* rate — the figure's
+    # x-axis — not at a bursty model's mean offered load.
     routes_map = discover_routes(
         scenario, scenario.protocols, jobs=args.jobs, store=store,
         progress=args.progress,
@@ -473,6 +496,14 @@ def _churn_count(text: str) -> int:
     return value
 
 
+def _traffic_spec(text: str):
+    """argparse type for ``--traffic``: MODEL[:PARAM=V,...]."""
+    try:
+        return parse_traffic_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser with one subcommand per artifact."""
     parser = argparse.ArgumentParser(
@@ -515,6 +546,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="crash N relay nodes mid-run (flow endpoints "
                             "never fail)")
+        p.add_argument("--traffic", type=_traffic_spec, default=None,
+                       metavar="MODEL[:PARAM=V,...]",
+                       help="traffic model for every flow: cbr, poisson, "
+                            "onoff[:on=S,off=S] or vbr[:jitter=F,"
+                            "size_jitter=F] (default: the scenario's model)")
+        p.add_argument("--pattern", choices=sorted(FLOW_PATTERNS),
+                       default=None,
+                       help="endpoint selection pattern (default: the "
+                            "scenario's pattern; grid presets keep their "
+                            "row flows under 'random')")
         return p
 
     add("table1", _cmd_table1, "radio card parameters")

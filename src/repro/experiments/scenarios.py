@@ -18,6 +18,10 @@ to the changing topologies the protocols were designed for — see
   mobility (:mod:`repro.sim.mobility`).
 * :func:`churn_grid` — the grid setup with scripted relay failures
   mid-run (flow endpoints never fail).
+* :func:`bursty_small` — the small-network setup driven by exponential
+  on/off sources (:mod:`repro.traffic.models`) instead of CBR.
+* :func:`convergecast_grid` — the 7x7 grid as a sensor field: Poisson
+  sources, many-to-one convergecast toward a single sink.
 
 Full paper scale is expensive in a pure-Python simulator, so every scenario
 carries a ``scale`` knob: ``paper`` uses the paper's durations and run
@@ -42,7 +46,12 @@ from repro.net.topology import (
 )
 from repro.sim.mobility import ChurnSpec, MobilitySpec
 from repro.sim.network import NetworkConfig
-from repro.traffic.flows import FlowSpec, grid_flows, random_flows
+from repro.traffic.flows import FLOW_PATTERNS, FlowSpec, grid_flows
+from repro.traffic.models import (
+    FlowDynamicsSpec,
+    TrafficSpec,
+    apply_flow_dynamics,
+)
 
 #: Protocols plotted in Figs. 8, 9, 11, 12.
 FIELD_PROTOCOLS = (
@@ -86,6 +95,23 @@ class Scenario:
     mobility: MobilitySpec | None = None
     #: Scripted relay failures; None injects nothing.
     churn: ChurnSpec | None = None
+    #: Per-flow traffic model; the CBR default is the paper's workload and
+    #: keeps runs byte-identical to pre-subsystem builds.
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    #: Endpoint pattern (:data:`repro.traffic.flows.FLOW_PATTERNS` name);
+    #: ``random`` is the paper's selection, grid scenarios keep their row
+    #: flows unless a non-default pattern overrides them.
+    pattern: str = "random"
+    #: Flow arrival/departure schedule; None keeps the paper's
+    #: "all flows start in [20 s, 25 s] and run forever" shape.
+    flow_dynamics: FlowDynamicsSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.pattern not in FLOW_PATTERNS:
+            raise ValueError(
+                "unknown flow pattern %r; available: %s"
+                % (self.pattern, ", ".join(sorted(FLOW_PATTERNS)))
+            )
 
     def placement(self, seed: int) -> Placement:
         """Placement for a given seed (grid scenarios ignore the seed)."""
@@ -104,21 +130,45 @@ class Scenario:
         )
 
     def flows(self, seed: int, rate_kbps: float) -> list[FlowSpec]:
-        """Flow list for one run: grid rows or random endpoint pairs."""
+        """Flow list for one run: pattern-selected endpoints, traffic model
+        attached, flow dynamics applied.
+
+        The default configuration (random pattern / grid rows, CBR, no
+        dynamics) reproduces the paper's workload draw-for-draw, which is
+        what keeps pre-subsystem pinned digests valid.
+        """
         rng = random.Random("flows/%s/%d" % (self.name, seed))
-        if self.grid:
+        if self.pattern != "random":
+            flows = FLOW_PATTERNS[self.pattern](
+                self.placement(seed).node_ids,
+                self.flow_count,
+                rate_kbps * 1000,
+                rng,
+                start_window=self.start_window,
+            )
+        elif self.grid:
             side = int(round(self.node_count**0.5))
-            return grid_flows(
+            flows = grid_flows(
                 side, rate_kbps * 1000, rng, start_window=self.start_window
             )
-        placement = self.placement(seed)
-        return random_flows(
-            placement.node_ids,
-            self.flow_count,
-            rate_kbps * 1000,
-            rng,
-            start_window=self.start_window,
-        )
+        else:
+            flows = FLOW_PATTERNS["random"](
+                self.placement(seed).node_ids,
+                self.flow_count,
+                rate_kbps * 1000,
+                rng,
+                start_window=self.start_window,
+            )
+        if not self.traffic.is_cbr:
+            flows = [replace(flow, traffic=self.traffic) for flow in flows]
+        if self.flow_dynamics is not None:
+            flows = apply_flow_dynamics(
+                flows,
+                self.flow_dynamics,
+                self.duration,
+                random.Random("flow-dynamics/%s/%d" % (self.name, seed)),
+            )
+        return flows
 
     def config(self, protocol: str, rate_kbps: float, seed: int) -> NetworkConfig:
         """Assemble the full NetworkConfig for one (protocol, rate, seed)."""
@@ -131,6 +181,7 @@ class Scenario:
             seed=seed,
             mobility=self.mobility,
             churn=self.churn,
+            traffic=self.traffic,
         )
 
     def scaled(self, duration: float, runs: int) -> "Scenario":
@@ -150,6 +201,22 @@ class Scenario:
         if window is None:
             window = (0.2 * self.duration, 0.7 * self.duration)
         return replace(self, churn=ChurnSpec(failures=failures, window=window))
+
+    def with_traffic(self, spec: TrafficSpec) -> "Scenario":
+        """Variant driving every flow with ``spec``'s traffic model."""
+        return replace(self, traffic=spec)
+
+    def with_pattern(self, pattern: str) -> "Scenario":
+        """Variant selecting endpoints with another pattern (e.g. pairs)."""
+        return replace(self, pattern=pattern)
+
+    def with_flow_dynamics(
+        self, spec: FlowDynamicsSpec | None = None
+    ) -> "Scenario":
+        """Variant with staggered flow arrivals/departures over the run."""
+        return replace(
+            self, flow_dynamics=spec if spec is not None else FlowDynamicsSpec()
+        )
 
 
 # ----------------------------------------------------------------------
@@ -269,6 +336,54 @@ def churn_grid(scale: str = "bench") -> Scenario:
     )
     scenario = _apply_scale(scenario, scale, bench_duration=80.0, bench_runs=2)
     return scenario.with_churn(failures=5)
+
+
+def bursty_small(scale: str = "bench") -> Scenario:
+    """Small-network setup with exponential on/off sources (no paper figure).
+
+    Same field, card and endpoints as :func:`small_network`, but every flow
+    bursts: mean 2 s ON (CBR-spaced packets), mean 6 s OFF — the idle-gap
+    workload PSM and on-demand power management were designed to exploit,
+    which plain CBR never produces.  The distinct ``name`` reseeds
+    placement/flows, so this is a new scenario, not a perturbation of the
+    static one.
+    """
+    scenario = Scenario(
+        name="bursty-small",
+        node_count=50,
+        field_size=500.0,
+        flow_count=10,
+        rates_kbps=(2.0, 4.0, 6.0),
+        duration=900.0,
+        runs=5,
+        traffic=TrafficSpec("onoff", (("on", 2.0), ("off", 6.0))),
+    )
+    return _apply_scale(scenario, scale, bench_duration=90.0, bench_runs=2)
+
+
+def convergecast_grid(scale: str = "bench") -> Scenario:
+    """7x7 grid as a sensor field: Poisson sources, one sink (no paper fig).
+
+    The grid geometry and Hypothetical Cabletron card of Figs. 13–16, but
+    the workload is the sensor-network shape: eight sources report
+    memoryless (Poisson) readings to a single seed-chosen sink, so relays
+    near the sink carry every flow and dominate the energy bill.
+    """
+    scenario = Scenario(
+        name="convergecast-grid",
+        node_count=49,
+        field_size=300.0,
+        flow_count=8,
+        rates_kbps=(2.0, 3.0, 4.0),
+        duration=900.0,
+        runs=5,
+        card=HYPOTHETICAL_CABLETRON,
+        grid=True,
+        protocols=GRID_PROTOCOLS,
+        traffic=TrafficSpec("poisson"),
+        pattern="convergecast",
+    )
+    return _apply_scale(scenario, scale, bench_duration=80.0, bench_runs=2)
 
 
 #: High-rate sweep of Figs. 15–16, Kbit/s.

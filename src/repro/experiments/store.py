@@ -44,8 +44,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
 #: Bump when the simulator's observable behaviour changes so that stale
 #: cached results are never mistaken for current ones.  Version 2: the
 #: dynamic-topology subsystem (mobility/churn enter the fingerprint and
-#: dynamic runs carry a ``dynamics`` payload section).
-CACHE_FORMAT_VERSION = 2
+#: dynamic runs carry a ``dynamics`` payload section).  Version 3: the
+#: traffic-model subsystem (traffic model / endpoint pattern / flow
+#: dynamics enter the fingerprint and non-CBR runs carry a ``traffic``
+#: payload section).
+CACHE_FORMAT_VERSION = 3
 
 
 def scenario_fingerprint(scenario: "Scenario") -> dict:
@@ -74,6 +77,14 @@ def scenario_fingerprint(scenario: "Scenario") -> dict:
         else None,
         "churn": scenario.churn.fingerprint()
         if scenario.churn is not None
+        else None,
+        # The workload axis determines outcomes exactly like topology does:
+        # what each flow sends (traffic model), where flows go (endpoint
+        # pattern) and when they exist (flow dynamics).
+        "traffic": scenario.traffic.fingerprint(),
+        "pattern": scenario.pattern,
+        "flow_dynamics": scenario.flow_dynamics.fingerprint()
+        if scenario.flow_dynamics is not None
         else None,
     }
 

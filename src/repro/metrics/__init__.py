@@ -4,6 +4,7 @@ from repro.metrics.collectors import (
     RunResult,
     aggregate_dynamics,
     aggregate_runs,
+    aggregate_traffic,
 )
 from repro.metrics.lifetime import (
     DEFAULT_BATTERY_JOULES,
@@ -14,7 +15,12 @@ from repro.metrics.lifetime import (
     steady_state_power,
 )
 from repro.metrics.plotting import AsciiPlot, figure_from_sweep
-from repro.metrics.stats import ConfidenceInterval, mean_ci, summarize
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    mean_ci,
+    percentile,
+    summarize,
+)
 
 __all__ = [
     "AsciiPlot",
@@ -24,11 +30,13 @@ __all__ = [
     "RunResult",
     "aggregate_dynamics",
     "aggregate_runs",
+    "aggregate_traffic",
     "figure_from_sweep",
     "lifetime_from_design",
     "lifetime_from_energy",
     "lifetime_from_run",
     "mean_ci",
+    "percentile",
     "steady_state_power",
     "summarize",
 ]

@@ -11,6 +11,13 @@ tallies, delivery-under-churn ratios — aggregated across seeds by
 :func:`aggregate_dynamics`.  Static runs leave ``dynamics`` as ``None`` and
 serialize to the exact pre-mobility payload bytes, which is what keeps the
 pinned static digests (see ``tests/test_orchestration.py``) valid.
+
+Non-CBR workloads (:mod:`repro.traffic.models`) follow the same pattern
+with a ``traffic`` mapping — offered/delivered byte volume, latency
+percentiles, jitter — aggregated by :func:`aggregate_traffic`.  Pure-CBR
+runs leave ``traffic`` as ``None`` (and their flow specs omit the traffic
+key entirely), so their payloads stay byte-identical to pre-subsystem
+builds.
 """
 
 from __future__ import annotations
@@ -42,6 +49,10 @@ class RunResult:
     #: ``None`` for static runs so their payloads stay byte-identical to
     #: pre-mobility builds.
     dynamics: dict[str, float] | None = None
+    #: Traffic-workload measurements (``offered_bytes``, ``latency_p95``,
+    #: ``jitter`` …); ``None`` for pure-CBR runs so their payloads stay
+    #: byte-identical to pre-traffic-subsystem builds.
+    traffic: dict[str, float] | None = None
 
     @property
     def packets_sent(self) -> int:
@@ -53,11 +64,17 @@ class RunResult:
 
     @property
     def delivery_ratio(self) -> float:
-        """Received over sent data packets, across all flows (§5.2)."""
+        """Received over sent data packets, across all flows (§5.2).
+
+        ``received`` counts unique deliveries (sinks sort retransmission
+        copies into ``duplicates``), so the quotient is reported as-is —
+        a value above 1.0 would expose a duplicate-accounting bug, and
+        clamping it away would hide exactly that.
+        """
         sent = self.packets_sent
         if sent == 0:
             return 0.0
-        return min(1.0, self.packets_received / sent)
+        return self.packets_received / sent
 
     @property
     def delivered_bits(self) -> float:
@@ -84,24 +101,17 @@ class RunResult:
 
         The payload captures the full run — per-flow counters, the energy
         summary (joules) and overhead counts — so a cached run is
-        indistinguishable from a fresh one.  The ``dynamics`` key appears
-        only for dynamic-topology runs: static payloads must stay
-        byte-identical to pre-mobility builds (the pinned-digest contract).
+        indistinguishable from a fresh one.  The ``dynamics`` and
+        ``traffic`` keys appear only for dynamic-topology / non-CBR runs
+        respectively, and a CBR flow's spec omits its (None) traffic field:
+        static pure-CBR payloads must stay byte-identical to earlier builds
+        (the pinned-digest contract).
         """
         payload = {
             "protocol": self.protocol,
             "seed": self.seed,
             "duration": self.duration,
-            "flows": [
-                {
-                    "spec": asdict(stats.spec),
-                    "sent": stats.sent,
-                    "received": stats.received,
-                    "duplicates": stats.duplicates,
-                    "latency_sum": stats.latency_sum,
-                }
-                for stats in self.flows
-            ],
+            "flows": [self._flow_payload(stats) for stats in self.flows],
             "energy_summary": dict(self.energy_summary),
             "control_packets": self.control_packets,
             "relays_used": self.relays_used,
@@ -109,24 +119,62 @@ class RunResult:
         }
         if self.dynamics is not None:
             payload["dynamics"] = dict(self.dynamics)
+        if self.traffic is not None:
+            payload["traffic"] = dict(self.traffic)
         return payload
+
+    @staticmethod
+    def _flow_payload(stats: FlowStats) -> dict:
+        """One flow's payload entry; extra keys only for non-CBR flows.
+
+        Byte counters are serialized only when a variable-size model could
+        make them diverge from ``count * packet_bytes`` — for CBR they are
+        derivable, and emitting them would change the pinned static bytes.
+        """
+        spec = asdict(stats.spec)
+        non_cbr = stats.spec.traffic is not None and not stats.spec.traffic.is_cbr
+        if stats.spec.traffic is None:
+            del spec["traffic"]
+        entry = {
+            "spec": spec,
+            "sent": stats.sent,
+            "received": stats.received,
+            "duplicates": stats.duplicates,
+            "latency_sum": stats.latency_sum,
+        }
+        if non_cbr:
+            entry["sent_bytes"] = stats.sent_bytes
+            entry["received_bytes"] = stats.received_bytes
+        return entry
 
     @classmethod
     def from_payload(cls, payload: dict) -> "RunResult":
-        """Rebuild a :class:`RunResult` from :meth:`to_payload` output."""
+        """Rebuild a :class:`RunResult` from :meth:`to_payload` output.
+
+        Per-delivery latency lists are not serialized (the derived numbers
+        live in the ``traffic`` block), so rebuilt flows have empty
+        ``latencies``; everything the payload carries round-trips exactly.
+        """
         from repro.traffic.cbr import FlowStats
         from repro.traffic.flows import FlowSpec
+        from repro.traffic.models import TrafficSpec
 
-        flows = [
-            FlowStats(
-                spec=FlowSpec(**entry["spec"]),
-                sent=entry["sent"],
-                received=entry["received"],
-                duplicates=entry["duplicates"],
-                latency_sum=entry["latency_sum"],
+        flows = []
+        for entry in payload["flows"]:
+            spec = dict(entry["spec"])
+            if spec.get("traffic") is not None:
+                spec["traffic"] = TrafficSpec.from_payload(spec["traffic"])
+            flows.append(
+                FlowStats(
+                    spec=FlowSpec(**spec),
+                    sent=entry["sent"],
+                    received=entry["received"],
+                    duplicates=entry["duplicates"],
+                    latency_sum=entry["latency_sum"],
+                    sent_bytes=entry.get("sent_bytes", 0),
+                    received_bytes=entry.get("received_bytes", 0),
+                )
             )
-            for entry in payload["flows"]
-        ]
         return cls(
             protocol=payload["protocol"],
             seed=payload["seed"],
@@ -138,6 +186,9 @@ class RunResult:
             events_processed=payload["events_processed"],
             dynamics=dict(payload["dynamics"])
             if payload.get("dynamics") is not None
+            else None,
+            traffic=dict(payload["traffic"])
+            if payload.get("traffic") is not None
             else None,
         )
 
@@ -153,6 +204,7 @@ class RunResult:
         relays_used: int = 0,
         events_processed: int = 0,
         dynamics: dict[str, float] | None = None,
+        traffic: dict[str, float] | None = None,
     ) -> "RunResult":
         return cls(
             protocol=protocol,
@@ -164,6 +216,7 @@ class RunResult:
             relays_used=relays_used,
             events_processed=events_processed,
             dynamics=dynamics,
+            traffic=traffic,
         )
 
 
@@ -214,5 +267,24 @@ def aggregate_dynamics(
         if not result.dynamics:
             continue
         for key, value in result.dynamics.items():
+            keyed.setdefault(key, []).append(float(value))
+    return {key: mean_ci(values) for key, values in sorted(keyed.items())}
+
+
+def aggregate_traffic(
+    results: Sequence[RunResult],
+) -> dict[str, ConfidenceInterval]:
+    """Mean ± 95% CI per traffic metric across non-CBR runs.
+
+    The workload counterpart of :func:`aggregate_dynamics`: folds each key
+    (``offered_bytes``, ``latency_p95``, ``jitter`` …) over the runs that
+    recorded it, in input order.  Pure-CBR runs (``traffic is None``)
+    contribute nothing; an all-CBR input returns an empty mapping.
+    """
+    keyed: dict[str, list[float]] = {}
+    for result in results:
+        if not result.traffic:
+            continue
+        for key, value in result.traffic.items():
             keyed.setdefault(key, []).append(float(value))
     return {key: mean_ci(values) for key, values in sorted(keyed.items())}

@@ -63,6 +63,26 @@ def mean_ci(
     )
 
 
+def percentile(sorted_values: Sequence[float], quantile: float) -> float:
+    """Linear-interpolation percentile of an ascending-sorted sample.
+
+    ``quantile`` is in [0, 1]; an empty sample yields 0.0 (the natural
+    value for "no deliveries yet").  The caller sorts — latency lists are
+    accumulated in arrival order and sorted once per summary, not per call.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError("quantile must lie in [0, 1]")
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = quantile * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
 def summarize(samples: Sequence[float]) -> dict[str, float]:
     """Mean, min, max and standard deviation of a sample."""
     if not samples:

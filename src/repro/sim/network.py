@@ -44,8 +44,9 @@ from repro.sim.mobility import (
 )
 from repro.sim.node import Node
 from repro.sim.psm import NoPsm, PsmScheduler
-from repro.traffic.cbr import CbrSink, CbrSource, FlowStats
+from repro.traffic.cbr import CbrSink, FlowStats, TrafficSource
 from repro.traffic.flows import FlowSpec
+from repro.traffic.models import TrafficSpec
 
 
 @dataclass(frozen=True)
@@ -154,6 +155,10 @@ class NetworkConfig:
     mobility: MobilitySpec | None = None
     #: Scripted node failures; None injects nothing.
     churn: ChurnSpec | None = None
+    #: Run-level default traffic model, applied to every flow whose spec
+    #: does not choose its own; the CBR default keeps the run on the
+    #: byte-identical pre-subsystem path.
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -167,6 +172,15 @@ class NetworkConfig:
         for flow in self.flows:
             if flow.source not in node_ids or flow.destination not in node_ids:
                 raise ValueError("flow %r references unknown nodes" % (flow,))
+        # Resolve the run-level default onto undecided flows once, so the
+        # specs inside RunResult payloads are self-describing.
+        if not self.traffic.is_cbr:
+            self.flows = [
+                replace(flow, traffic=self.traffic)
+                if flow.traffic is None
+                else flow
+                for flow in self.flows
+            ]
 
 
 class WirelessNetwork:
@@ -224,7 +238,14 @@ class WirelessNetwork:
                     neighbor_id, lambda n=neighbor: n.power.mode
                 )
 
-        # Traffic.
+        # Traffic: one model-driven source per flow (CBR flows carry no
+        # spec and take the byte-identical legacy schedule).  Per-delivery
+        # latency lists exist only for the runs whose traffic summary will
+        # read them — pure-CBR sinks skip the O(deliveries) recording.
+        self._non_cbr_workload = any(
+            spec.traffic is not None and not spec.traffic.is_cbr
+            for spec in config.flows
+        )
         self.flow_stats: list[FlowStats] = []
         sinks: dict[int, CbrSink] = {}
         for spec in config.flows:
@@ -232,9 +253,19 @@ class WirelessNetwork:
             self.flow_stats.append(stats)
             sink_node = self.nodes[spec.destination]
             if spec.destination not in sinks:
-                sinks[spec.destination] = CbrSink(self.sim, sink_node)
+                sinks[spec.destination] = CbrSink(
+                    self.sim,
+                    sink_node,
+                    record_latencies=self._non_cbr_workload,
+                )
             sinks[spec.destination].watch(stats)
-            CbrSource(self.sim, self.nodes[spec.source], spec, stats)
+            TrafficSource(
+                self.sim,
+                self.nodes[spec.source],
+                spec,
+                stats,
+                model=spec.traffic.build() if spec.traffic is not None else None,
+            )
 
         # Dynamic topology (mobility / churn), started alongside the nodes.
         self.mobility: RandomWaypointMobility | None = None
@@ -294,6 +325,7 @@ class WirelessNetwork:
             relays_used=self.relays_used(),
             events_processed=self.sim.events_processed,
             dynamics=self._dynamics_summary(),
+            traffic=self._traffic_summary(),
         )
 
     def _dynamics_summary(self) -> dict[str, float] | None:
@@ -325,6 +357,40 @@ class WirelessNetwork:
                     min(1.0, received / sent) if sent > 0 else 0.0
                 )
         return dynamics
+
+    def _traffic_summary(self) -> dict[str, float] | None:
+        """Workload measurements, or None for a pure-CBR run.
+
+        Keys: offered/delivered payload volume (``offered_bytes`` /
+        ``received_bytes``), network-wide delivery-latency percentiles
+        (``latency_p50`` / ``latency_p95`` / ``latency_p99``, seconds, over
+        every delivery of every flow) and the mean per-flow ``jitter``
+        (RFC 3550-style).  Pure-CBR runs return None so their payloads stay
+        byte-identical to pre-subsystem builds; the mean-latency headline
+        remains available on every run via the flow counters.
+        """
+        from repro.metrics.stats import percentile
+
+        if not self._non_cbr_workload:
+            return None
+        latencies = sorted(
+            latency
+            for stats in self.flow_stats
+            for latency in stats.latencies
+        )
+        jitters = [s.jitter for s in self.flow_stats if len(s.latencies) >= 2]
+        return {
+            "offered_bytes": float(
+                sum(s.sent_bytes for s in self.flow_stats)
+            ),
+            "received_bytes": float(
+                sum(s.received_bytes for s in self.flow_stats)
+            ),
+            "latency_p50": percentile(latencies, 0.50),
+            "latency_p95": percentile(latencies, 0.95),
+            "latency_p99": percentile(latencies, 0.99),
+            "jitter": sum(jitters) / len(jitters) if jitters else 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Derived measures

@@ -1,13 +1,55 @@
-"""Traffic generation: CBR flows as used throughout §5.2."""
+"""Traffic generation: models (what flows send), patterns (where), dynamics.
 
-from repro.traffic.cbr import CbrSink, CbrSource, FlowStats
-from repro.traffic.flows import FlowSpec, grid_flows, random_flows
+The paper's §5.2 workload — CBR flows between random endpoint pairs — is
+one point in the space this package now covers: pluggable per-flow traffic
+models (:mod:`repro.traffic.models`), endpoint selection patterns
+(:mod:`repro.traffic.flows`) and seed-deterministic flow arrival/departure
+schedules (:class:`~repro.traffic.models.FlowDynamicsSpec`).
+"""
+
+from repro.traffic.cbr import CbrSink, CbrSource, FlowStats, TrafficSource
+from repro.traffic.flows import (
+    FLOW_PATTERNS,
+    FlowSelectionError,
+    FlowSpec,
+    convergecast_flows,
+    grid_flows,
+    pairs_flows,
+    random_flows,
+)
+from repro.traffic.models import (
+    TRAFFIC_MODELS,
+    CbrModel,
+    FlowDynamicsSpec,
+    OnOffModel,
+    PoissonModel,
+    TrafficModel,
+    TrafficSpec,
+    VbrModel,
+    apply_flow_dynamics,
+    parse_traffic_spec,
+)
 
 __all__ = [
+    "CbrModel",
     "CbrSink",
     "CbrSource",
+    "FLOW_PATTERNS",
+    "FlowDynamicsSpec",
+    "FlowSelectionError",
     "FlowSpec",
     "FlowStats",
+    "OnOffModel",
+    "PoissonModel",
+    "TRAFFIC_MODELS",
+    "TrafficModel",
+    "TrafficSource",
+    "TrafficSpec",
+    "VbrModel",
+    "apply_flow_dynamics",
+    "convergecast_flows",
     "grid_flows",
+    "pairs_flows",
+    "parse_traffic_spec",
     "random_flows",
 ]

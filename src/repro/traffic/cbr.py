@@ -1,11 +1,16 @@
-"""Constant-bit-rate sources and sinks.
+"""Traffic sources and sinks: the scheduler behind every traffic model.
 
-A :class:`CbrSource` emits fixed-size packets at fixed intervals from its
-flow's start time; a :class:`CbrSink` counts unique delivered packets (MAC
-retransmissions can duplicate a frame when an ACK is lost, and duplicates
-must not inflate delivery ratio).  Together they produce the paper's two
-headline metrics: delivery ratio and delivered application bits (the
-numerator of energy goodput).
+A :class:`TrafficSource` emits one flow's packets on the schedule its
+:class:`~repro.traffic.models.TrafficModel` generates (CBR, Poisson,
+on/off bursts, VBR — see :mod:`repro.traffic.models`); :class:`CbrSource`
+is the constant-bit-rate special case the paper uses throughout §5.2.  A
+:class:`CbrSink` counts unique delivered packets (MAC retransmissions can
+duplicate a frame when an ACK is lost, and duplicates must not inflate
+delivery ratio) and records the per-packet latencies behind the latency
+percentile / jitter metrics.  Together they produce the paper's two
+headline metrics — delivery ratio and delivered application bits (the
+numerator of energy goodput) — plus the latency distribution the non-CBR
+workloads report.
 """
 
 from __future__ import annotations
@@ -14,28 +19,48 @@ from dataclasses import dataclass, field
 
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
-from repro.sim.packet import Packet, make_data_packet
+from repro.sim.packet import HEADER_OVERHEAD, Packet, make_data_packet
 from repro.traffic.flows import FlowSpec
+from repro.traffic.models import CbrModel, TrafficModel
 
 
 @dataclass
 class FlowStats:
-    """Counters for one flow."""
+    """Counters for one flow.
+
+    ``received`` counts *unique* deliveries only; retransmission copies land
+    in ``duplicates`` (kept separate precisely so that delivery ratio stays
+    an honest received/sent quotient — a ratio above 1.0 is a bug to
+    surface, never something to clamp away).  ``sent_bytes`` /
+    ``received_bytes`` track actual payload volume, which diverges from
+    ``count * packet_bytes`` once a variable-size model (VBR) is in play;
+    ``latencies`` holds per-delivery latencies in arrival order for the
+    percentile and jitter metrics (not serialized — the run's ``traffic``
+    summary block carries the derived numbers — and left empty when the
+    sink's ``record_latencies`` is off, as in pure-CBR network runs).
+    """
 
     spec: FlowSpec
     sent: int = 0
     received: int = 0
     duplicates: int = 0
     latency_sum: float = 0.0
+    sent_bytes: int = 0
+    received_bytes: int = 0
+    latencies: list[float] = field(default_factory=list)
 
     @property
     def delivery_ratio(self) -> float:
         if self.sent == 0:
             return 0.0
-        return min(1.0, self.received / self.sent)
+        return self.received / self.sent
 
     @property
     def delivered_bits(self) -> float:
+        if self.received_bytes:
+            return self.received_bytes * 8
+        # Cached payloads predate byte accounting (and CBR flows never
+        # diverge from it): unique deliveries times the nominal size.
         return self.received * self.spec.packet_bytes * 8
 
     @property
@@ -44,12 +69,45 @@ class FlowStats:
             return 0.0
         return self.latency_sum / self.received
 
+    def latency_percentile(self, quantile: float) -> float:
+        """Latency at ``quantile`` (0..1) over this flow's deliveries."""
+        from repro.metrics.stats import percentile
 
-class CbrSource:
-    """Emits one flow's packets on schedule via the node's routing layer."""
+        return percentile(sorted(self.latencies), quantile)
+
+    @property
+    def jitter(self) -> float:
+        """Mean absolute difference of consecutive delivery latencies.
+
+        The RFC 3550-style smoothness measure, over deliveries in arrival
+        order; 0.0 with fewer than two deliveries.
+        """
+        if len(self.latencies) < 2:
+            return 0.0
+        total = sum(
+            abs(b - a) for a, b in zip(self.latencies, self.latencies[1:])
+        )
+        return total / (len(self.latencies) - 1)
+
+
+class TrafficSource:
+    """Emits one flow's packets on its model's schedule via routing.
+
+    The model's :meth:`~repro.traffic.models.TrafficModel.arrivals`
+    generator drives the event chain; every random draw comes from the
+    flow's own named stream (``traffic/<flow_id>``), so schedules are
+    independent across flows and reproducible regardless of event
+    interleaving.  ``spec.stop`` is honored at emission time — mid-burst
+    included: the first due packet at or after ``stop`` ends the chain.
+    """
 
     def __init__(
-        self, sim: Simulator, node: Node, spec: FlowSpec, stats: FlowStats
+        self,
+        sim: Simulator,
+        node: Node,
+        spec: FlowSpec,
+        stats: FlowStats,
+        model: TrafficModel | None = None,
     ) -> None:
         if node.node_id != spec.source:
             raise ValueError("source node does not match flow spec")
@@ -57,12 +115,18 @@ class CbrSource:
         self.node = node
         self.spec = spec
         self.stats = stats
+        self.model = model if model is not None else CbrModel()
         self._seqno = 0
-        # Advertise the flow rate to rate-aware protocols (DSRH(rate)).
+        # Advertise the flow rate to rate-aware protocols (DSRH(rate));
+        # bursty models advertise their nominal (in-burst) rate.
         routing = node.routing
         if routing is not None and hasattr(routing, "flow_rates"):
             routing.flow_rates[spec.flow_id] = spec.rate_bps
-        sim.schedule_at(spec.start, self._emit)
+        self._arrivals = self.model.arrivals(
+            spec, sim.rng("traffic/%d" % spec.flow_id)
+        )
+        gap, self._next_bytes = next(self._arrivals)
+        sim.schedule_at(spec.start + gap, self._emit)
 
     def _emit(self) -> None:
         if self.spec.stop is not None and self.sim.now >= self.spec.stop:
@@ -72,23 +136,45 @@ class CbrSource:
             final_dst=self.spec.destination,
             src=self.spec.source,
             dst=self.spec.source,  # placeholder; routing picks the next hop
-            payload_bytes=self.spec.packet_bytes,
+            payload_bytes=self._next_bytes,
             flow_id=self.spec.flow_id,
             seqno=self._seqno,
             created_at=self.sim.now,
         )
         self._seqno += 1
         self.stats.sent += 1
+        self.stats.sent_bytes += self._next_bytes
         self.node.send_data(packet)
-        self.sim.schedule(self.spec.interval, self._emit)
+        gap, self._next_bytes = next(self._arrivals)
+        self.sim.schedule(gap, self._emit)
+
+
+class CbrSource(TrafficSource):
+    """The paper's constant-bit-rate source (§5.2): fixed size, fixed rate."""
+
+    def __init__(
+        self, sim: Simulator, node: Node, spec: FlowSpec, stats: FlowStats
+    ) -> None:
+        super().__init__(sim, node, spec, stats, model=CbrModel())
 
 
 class CbrSink:
-    """Counts unique deliveries for all flows terminating at one node."""
+    """Counts unique deliveries for all flows terminating at one node.
 
-    def __init__(self, sim: Simulator, node: Node) -> None:
+    ``record_latencies`` keeps the per-delivery latency list feeding the
+    percentile/jitter metrics.  Pure-CBR runs never read that list (their
+    results carry no ``traffic`` block), so
+    :class:`~repro.sim.network.WirelessNetwork` turns recording off for
+    them — one list-append fewer on the delivery hot path and no
+    O(deliveries) memory growth at paper scale.
+    """
+
+    def __init__(
+        self, sim: Simulator, node: Node, record_latencies: bool = True
+    ) -> None:
         self.sim = sim
         self.node = node
+        self.record_latencies = record_latencies
         self._flows: dict[int, FlowStats] = {}
         self._seen: dict[int, set[int]] = {}
         previous = node.on_app_data
@@ -116,8 +202,14 @@ class CbrSink:
         assert packet.seqno is not None
         seen = self._seen[flow_id]
         if packet.seqno in seen:
+            # A lost ACK made the previous hop retransmit a frame that had
+            # already arrived: count it as a duplicate, never a delivery.
             stats.duplicates += 1
             return
         seen.add(packet.seqno)
         stats.received += 1
-        stats.latency_sum += self.sim.now - packet.created_at
+        stats.received_bytes += packet.size_bytes - HEADER_OVERHEAD
+        latency = self.sim.now - packet.created_at
+        stats.latency_sum += latency
+        if self.record_latencies:
+            stats.latencies.append(latency)

@@ -1,9 +1,20 @@
-"""Flow specifications and endpoint selection.
+"""Flow specifications and endpoint selection patterns.
 
 The paper's workloads: N CBR flows between random distinct endpoints
 (small/large/density scenarios) or seven left-to-right flows across a 7x7
 grid (the hypothetical-card study, §5.2.3).  Start times are drawn uniformly
 from [20 s, 25 s] in every scenario.
+
+Beyond the paper, two endpoint *patterns* open the classic ad-hoc/sensor
+workloads: :func:`convergecast_flows` (many sources reporting to one sink —
+the sensor-network shape) and :func:`pairs_flows` (disjoint bidirectional
+pairs — peer-to-peer sessions whose two directions share endpoints and
+therefore contend at both).  :data:`FLOW_PATTERNS` maps the
+``Scenario.pattern`` / CLI ``--pattern`` names to the selection functions.
+
+Endpoint-selection failures raise :class:`FlowSelectionError`, which names
+the ``(count, node_count)`` that caused them — the flow-layer counterpart
+of :class:`repro.experiments.parallel.GridCellError`.
 """
 
 from __future__ import annotations
@@ -11,10 +22,39 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.traffic.models import TrafficSpec
+
+
+class FlowSelectionError(ValueError):
+    """Endpoint selection failed; names the offending (count, node_count).
+
+    Bare ``ValueError``s out of flow selection used to surface with no hint
+    of *which* scenario dimension was impossible; this wrapper carries the
+    requested flow count and the available node population in both the
+    message and the attributes, mirroring ``GridCellError``'s convention.
+    """
+
+    def __init__(self, count: int, node_count: int, cause: str) -> None:
+        super().__init__(
+            "cannot select %d flows from %d nodes: %s"
+            % (count, node_count, cause)
+        )
+        self.count = count
+        self.node_count = node_count
+        self._cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.count, self.node_count, self._cause))
+
 
 @dataclass(frozen=True)
 class FlowSpec:
-    """One CBR flow: endpoints, rate, packet size and start/stop times."""
+    """One flow: endpoints, rate, packet size, start/stop and traffic model.
+
+    ``traffic`` is ``None`` for the paper's plain CBR workload (the
+    byte-identical serialization path) or a
+    :class:`~repro.traffic.models.TrafficSpec` choosing another generator.
+    """
 
     flow_id: int
     source: int
@@ -23,6 +63,7 @@ class FlowSpec:
     packet_bytes: int = 128
     start: float = 20.0
     stop: float | None = None
+    traffic: TrafficSpec | None = None
 
     def __post_init__(self) -> None:
         if self.source == self.destination:
@@ -36,7 +77,7 @@ class FlowSpec:
 
     @property
     def interval(self) -> float:
-        """Seconds between packets."""
+        """Seconds between packets (the nominal CBR spacing)."""
         return self.packet_bytes * 8 / self.rate_bps
 
 
@@ -55,11 +96,13 @@ def random_flows(
     scripts); destinations may repeat across flows.
     """
     if count < 1:
-        raise ValueError("need at least one flow")
+        raise FlowSelectionError(count, len(node_ids), "need at least one flow")
     if len(node_ids) < 2:
-        raise ValueError("need at least two nodes")
+        raise FlowSelectionError(count, len(node_ids), "need at least two nodes")
     if count > len(node_ids):
-        raise ValueError("more flows than possible distinct sources")
+        raise FlowSelectionError(
+            count, len(node_ids), "more flows than possible distinct sources"
+        )
     sources = rng.sample(node_ids, count)
     flows = []
     for flow_id, source in enumerate(sources):
@@ -76,6 +119,105 @@ def random_flows(
             )
         )
     return flows
+
+
+def convergecast_flows(
+    node_ids: list[int],
+    count: int,
+    rate_bps: float,
+    rng: random.Random,
+    packet_bytes: int = 128,
+    start_window: tuple[float, float] = (20.0, 25.0),
+    stop: float | None = None,
+) -> list[FlowSpec]:
+    """Many-to-one: ``count`` distinct sources all report to one sink.
+
+    The sensor-network workload — traffic concentrates toward the sink, so
+    relays near it carry every flow and their duty cycle (not the average
+    node's) bounds what power management can save.  The sink and sources
+    are drawn from ``rng``, so the pattern is a pure function of the
+    scenario seed like every other selection.
+    """
+    if count < 1:
+        raise FlowSelectionError(count, len(node_ids), "need at least one flow")
+    if len(node_ids) < count + 1:
+        raise FlowSelectionError(
+            count,
+            len(node_ids),
+            "convergecast needs count distinct sources plus one sink",
+        )
+    sink = rng.choice(node_ids)
+    sources = rng.sample([n for n in node_ids if n != sink], count)
+    return [
+        FlowSpec(
+            flow_id=flow_id,
+            source=source,
+            destination=sink,
+            rate_bps=rate_bps,
+            packet_bytes=packet_bytes,
+            start=rng.uniform(*start_window),
+            stop=stop,
+        )
+        for flow_id, source in enumerate(sources)
+    ]
+
+
+def pairs_flows(
+    node_ids: list[int],
+    count: int,
+    rate_bps: float,
+    rng: random.Random,
+    packet_bytes: int = 128,
+    start_window: tuple[float, float] = (20.0, 25.0),
+    stop: float | None = None,
+) -> list[FlowSpec]:
+    """Disjoint bidirectional pairs: flows 2k and 2k+1 share one node pair.
+
+    ``count`` flows over ``ceil(count / 2)`` node pairs; every pair is
+    endpoint-disjoint from every other (unlike :func:`random_flows`, where
+    destinations may repeat), and each pair carries one flow per direction
+    — an odd ``count`` leaves the last pair unidirectional.  Models
+    peer-to-peer sessions where request and response traffic contend on the
+    same path.
+    """
+    if count < 1:
+        raise FlowSelectionError(count, len(node_ids), "need at least one flow")
+    pair_count = (count + 1) // 2
+    if 2 * pair_count > len(node_ids):
+        raise FlowSelectionError(
+            count,
+            len(node_ids),
+            "disjoint pairs need %d distinct nodes" % (2 * pair_count),
+        )
+    chosen = rng.sample(node_ids, 2 * pair_count)
+    flows = []
+    for pair in range(pair_count):
+        a, b = chosen[2 * pair], chosen[2 * pair + 1]
+        for source, destination in ((a, b), (b, a)):
+            if len(flows) == count:
+                break
+            flows.append(
+                FlowSpec(
+                    flow_id=len(flows),
+                    source=source,
+                    destination=destination,
+                    rate_bps=rate_bps,
+                    packet_bytes=packet_bytes,
+                    start=rng.uniform(*start_window),
+                    stop=stop,
+                )
+            )
+    return flows
+
+
+#: Endpoint patterns by name (``Scenario.pattern`` / CLI ``--pattern``).
+#: ``random`` is the paper's workload; grid scenarios use their row flows
+#: unless a non-default pattern overrides them.
+FLOW_PATTERNS = {
+    "random": random_flows,
+    "convergecast": convergecast_flows,
+    "pairs": pairs_flows,
+}
 
 
 def grid_flows(

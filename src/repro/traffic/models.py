@@ -1,0 +1,333 @@
+"""Pluggable traffic models: what a flow *sends*, separated from *where*.
+
+The paper's evaluation (§5.2) drives every experiment with constant-bit-rate
+sources, which is exactly the workload where energy-conserving topology
+management has the least to exploit: a CBR flow never leaves an idle gap
+longer than one packet interval.  This module opens the workload axis with
+a small registry of seed-deterministic packet-arrival generators:
+
+* ``cbr`` — the paper's source: fixed-size packets at fixed intervals.
+  Draws nothing from the RNG, so pure-CBR runs stay byte-identical to
+  pre-subsystem builds (the pinned-digest contract).
+* ``poisson`` — exponential inter-arrivals with the flow's mean rate;
+  the classic memoryless telemetry/sensor reading stream.
+* ``onoff`` — exponential ON/OFF bursts (params ``on``/``off``, mean
+  seconds), CBR-spaced packets inside each burst.  The OFF gaps are what
+  PSM and on-demand power management exist to exploit.
+* ``vbr`` — jittered CBR: each gap and packet size drawn uniformly within
+  ``jitter`` / ``size_jitter`` fractions of the nominal values.
+
+A model is anything with an ``arrivals(flow, rng)`` method yielding
+``(gap_seconds, payload_bytes)`` pairs — the gap precedes the packet, and
+the first gap is relative to ``flow.start``.  Generators must derive every
+draw from the ``rng`` they are handed: the scheduler
+(:class:`repro.traffic.cbr.TrafficSource`) feeds each flow its own named
+stream (``traffic/<flow_id>``, mirroring the ``mobility/<node>`` convention
+of :mod:`repro.sim.mobility`), which is what keeps per-flow schedules
+independent and the serial == parallel == cached contract intact.
+
+:class:`TrafficSpec` is the frozen, hashable description that travels on
+:class:`~repro.traffic.flows.FlowSpec`,
+:class:`~repro.sim.network.NetworkConfig` and
+:class:`~repro.experiments.scenarios.Scenario`, enters the result-store
+cell key (:mod:`repro.experiments.store`) and parses from the CLI's
+``--traffic MODEL[:PARAM=V,...]`` syntax.
+
+:class:`FlowDynamicsSpec` covers the *when*: a seed-deterministic schedule
+of flow arrivals and departures over the run (staggered starts, exponential
+holding times), applied as a pure rewrite of the flow list — the analogue
+of :class:`~repro.sim.mobility.ChurnSpec` for workload instead of topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterator, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - break the models <-> flows cycle
+    from repro.traffic.flows import FlowSpec
+
+
+class TrafficModel(Protocol):
+    """Anything that can schedule one flow's packets."""
+
+    def arrivals(
+        self, flow: "FlowSpec", rng: random.Random
+    ) -> Iterator[tuple[float, int]]:
+        """Yield ``(gap_seconds, payload_bytes)`` forever.
+
+        The gap precedes the packet; the first gap is measured from
+        ``flow.start``.  Every random draw must come from ``rng``.
+        """
+        ...  # pragma: no cover - protocol signature only
+
+
+class CbrModel:
+    """The paper's constant-bit-rate source: fixed size, fixed interval.
+
+    Never touches the RNG, which keeps pure-CBR runs byte-identical to
+    builds that predate the traffic subsystem.
+    """
+
+    name = "cbr"
+    param_defaults: dict[str, float] = {}
+
+    def __init__(self) -> None:
+        pass
+
+    def arrivals(self, flow, rng) -> Iterator[tuple[float, int]]:
+        """First packet at ``flow.start``, then one every ``flow.interval``."""
+        interval = flow.interval
+        size = flow.packet_bytes
+        yield (0.0, size)
+        while True:
+            yield (interval, size)
+
+
+class PoissonModel:
+    """Memoryless packet process at the flow's mean rate.
+
+    Inter-arrival gaps are exponential with mean ``flow.interval``; packet
+    sizes stay fixed, so the *mean* offered load equals the CBR flow's.
+    """
+
+    name = "poisson"
+    param_defaults: dict[str, float] = {}
+
+    def __init__(self) -> None:
+        pass
+
+    def arrivals(self, flow, rng) -> Iterator[tuple[float, int]]:
+        """Exponential gaps (mean ``flow.interval``), fixed packet size."""
+        mean = flow.interval
+        size = flow.packet_bytes
+        while True:
+            yield (rng.expovariate(1.0 / mean), size)
+
+
+class OnOffModel:
+    """Exponential ON/OFF bursts with CBR spacing inside each burst.
+
+    ``on`` and ``off`` are the mean burst and silence durations in seconds;
+    a burst of duration ``b`` carries ``max(1, int(b / interval))`` packets
+    spaced ``flow.interval`` apart, and consecutive bursts are separated by
+    an exponential OFF gap (plus one interval, so bursts never touch).
+    The OFF silences are the idle periods PSM/ODPM can convert to sleep.
+    """
+
+    name = "onoff"
+    param_defaults = {"on": 1.0, "off": 3.0}
+
+    def __init__(self, on: float = 1.0, off: float = 3.0) -> None:
+        if on <= 0 or off <= 0:
+            raise ValueError("onoff means must be positive seconds")
+        self.on = on
+        self.off = off
+
+    def arrivals(self, flow, rng) -> Iterator[tuple[float, int]]:
+        """Bursts of CBR-spaced packets separated by exponential silences."""
+        interval = flow.interval
+        size = flow.packet_bytes
+        gap = 0.0
+        while True:
+            burst = rng.expovariate(1.0 / self.on)
+            for _ in range(max(1, int(burst / interval))):
+                yield (gap, size)
+                gap = interval
+            gap = interval + rng.expovariate(1.0 / self.off)
+
+
+class VbrModel:
+    """Jittered CBR: gaps and sizes uniform around the nominal values.
+
+    ``jitter`` perturbs each inter-packet gap to
+    ``interval * U(1 - jitter, 1 + jitter)``; ``size_jitter`` does the same
+    to the payload size (rounded, floored at one byte).  Both default to a
+    moderate video-like variability.
+    """
+
+    name = "vbr"
+    param_defaults = {"jitter": 0.3, "size_jitter": 0.25}
+
+    def __init__(self, jitter: float = 0.3, size_jitter: float = 0.25) -> None:
+        if not 0.0 <= jitter < 1.0 or not 0.0 <= size_jitter < 1.0:
+            raise ValueError("jitter fractions must be in [0, 1)")
+        self.jitter = jitter
+        self.size_jitter = size_jitter
+
+    def arrivals(self, flow, rng) -> Iterator[tuple[float, int]]:
+        """Uniformly jittered gaps and payload sizes around the nominals."""
+        interval = flow.interval
+        nominal = flow.packet_bytes
+        while True:
+            gap = interval * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            size = max(
+                1,
+                round(
+                    nominal
+                    * rng.uniform(1.0 - self.size_jitter, 1.0 + self.size_jitter)
+                ),
+            )
+            yield (gap, size)
+
+
+#: Registry of traffic models by name; add a class with ``name``,
+#: ``param_defaults`` and ``arrivals`` here to plug in a new one (see the
+#: "Traffic models" walkthrough in ``docs/scenarios.md``).
+TRAFFIC_MODELS: dict[str, type] = {
+    CbrModel.name: CbrModel,
+    PoissonModel.name: PoissonModel,
+    OnOffModel.name: OnOffModel,
+    VbrModel.name: VbrModel,
+}
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Frozen, hashable description of one traffic model configuration.
+
+    ``params`` is a canonically-sorted tuple of ``(name, value)`` pairs so
+    that two specs describing the same configuration compare (and
+    fingerprint) equal regardless of construction order.  Unknown models,
+    unknown parameter names and out-of-range parameter values are all
+    rejected at construction, which is where a CLI typo surfaces instead
+    of deep inside a sweep.
+    """
+
+    model: str = "cbr"
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.model not in TRAFFIC_MODELS:
+            raise ValueError(
+                "unknown traffic model %r; available: %s"
+                % (self.model, ", ".join(sorted(TRAFFIC_MODELS)))
+            )
+        allowed = TRAFFIC_MODELS[self.model].param_defaults
+        canonical = []
+        for name, value in self.params:
+            if name not in allowed:
+                raise ValueError(
+                    "traffic model %r takes no parameter %r (knows: %s)"
+                    % (self.model, name, ", ".join(sorted(allowed)) or "none")
+                )
+            canonical.append((name, float(value)))
+        names = [name for name, _ in canonical]
+        if len(names) != len(set(names)):
+            # dict(params) would silently keep the last value while the
+            # fingerprint recorded every pair — one behaviour, two cache
+            # keys.  Reject instead.
+            raise ValueError(
+                "duplicate traffic parameter in %r" % (self.params,)
+            )
+        object.__setattr__(self, "params", tuple(sorted(canonical)))
+        self.build()  # surface bad parameter *values* here, not mid-sweep
+
+    @property
+    def is_cbr(self) -> bool:
+        """True for the paper's default workload (the byte-identical path)."""
+        return self.model == CbrModel.name
+
+    def build(self) -> TrafficModel:
+        """Instantiate the generator this spec describes."""
+        return TRAFFIC_MODELS[self.model](**dict(self.params))
+
+    def fingerprint(self) -> dict:
+        """JSON-safe parameters for the result-store cell key."""
+        return {"model": self.model, "params": [list(p) for p in self.params]}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TrafficSpec":
+        """Rebuild from :meth:`fingerprint` / serialized-payload shape."""
+        return cls(
+            model=payload["model"],
+            params=tuple((name, value) for name, value in payload["params"]),
+        )
+
+
+def parse_traffic_spec(text: str) -> TrafficSpec:
+    """Parse the CLI syntax ``MODEL[:PARAM=V,...]`` into a spec.
+
+    Examples: ``poisson``, ``onoff:on=2,off=8``, ``vbr:jitter=0.5``.
+    Raises :class:`ValueError` (with the offending token) on bad input.
+    """
+    model, _, rest = text.partition(":")
+    params = []
+    if rest:
+        for token in rest.split(","):
+            name, sep, value = token.partition("=")
+            if not sep or not name:
+                raise ValueError(
+                    "bad traffic parameter %r (expected PARAM=VALUE)" % token
+                )
+            try:
+                params.append((name, float(value)))
+            except ValueError:
+                raise ValueError(
+                    "bad traffic parameter value %r in %r" % (value, token)
+                ) from None
+    return TrafficSpec(model=model.strip(), params=tuple(params))
+
+
+@dataclass(frozen=True)
+class FlowDynamicsSpec:
+    """Seed-deterministic flow arrival/departure schedule.
+
+    Instead of every flow starting inside the paper's [20 s, 25 s] window
+    and running to the horizon, flows *arrive* at times uniform in
+    ``arrival_window`` (as fractions of the run duration) and *depart*
+    after an exponential holding time with mean ``hold_fraction`` of the
+    duration — the workload analogue of
+    :class:`~repro.sim.mobility.ChurnSpec`.  Applied as a pure rewrite of
+    the flow list (:func:`apply_flow_dynamics`), so no runtime scheduler is
+    needed and the serial == parallel == cached contract is free.
+    """
+
+    arrival_window: tuple[float, float] = (0.0, 0.5)
+    hold_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        low, high = self.arrival_window
+        if not 0.0 <= low < high <= 1.0:
+            raise ValueError(
+                "arrival_window must satisfy 0 <= low < high <= 1"
+            )
+        if self.hold_fraction <= 0:
+            raise ValueError("hold_fraction must be positive")
+
+    def fingerprint(self) -> dict:
+        """JSON-safe parameters for the result-store cell key."""
+        return {
+            "model": "arrive-depart",
+            "arrival_window": list(self.arrival_window),
+            "hold_fraction": self.hold_fraction,
+        }
+
+
+def apply_flow_dynamics(
+    flows: list["FlowSpec"],
+    spec: FlowDynamicsSpec,
+    duration: float,
+    rng: random.Random,
+) -> list["FlowSpec"]:
+    """Rewrite each flow's ``start``/``stop`` per the dynamics schedule.
+
+    Flow ``k`` arrives at a time uniform in ``spec.arrival_window`` (scaled
+    to ``duration``) and holds for an exponential time with mean
+    ``spec.hold_fraction * duration``; departures at or beyond the horizon
+    become ``stop=None`` (the flow outlives the run).  Draws happen in flow
+    order from ``rng``, so the schedule is a pure function of the stream
+    the caller seeds — :meth:`Scenario.flows` hands it
+    ``flow-dynamics/<scenario>/<seed>``.
+    """
+    low, high = spec.arrival_window
+    rewritten = []
+    for flow in flows:
+        start = rng.uniform(low * duration, high * duration)
+        hold = rng.expovariate(1.0 / (spec.hold_fraction * duration))
+        stop: float | None = start + hold
+        if stop >= duration:
+            stop = None
+        rewritten.append(replace(flow, start=start, stop=stop))
+    return rewritten

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "lifetime_analysis.py",
     "parallel_sweep.py",
     "mobile_sweep.py",
+    "traffic_mix.py",
 ]
 
 

@@ -234,6 +234,86 @@ class TestRouteCacheProperties:
             assert cached.cost <= expected + 1e-9
 
 
+class TestTrafficModelProperties:
+    """Seed-determinism invariants of every registered traffic generator."""
+
+    @staticmethod
+    def _spec(rate_bps: float) -> "FlowSpec":
+        from repro.traffic.flows import FlowSpec
+
+        return FlowSpec(flow_id=0, source=0, destination=1, rate_bps=rate_bps)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        rate_bps=st.floats(500.0, 50_000.0),
+        model_name=st.sampled_from(["cbr", "poisson", "onoff", "vbr"]),
+    )
+    @settings(max_examples=150)
+    def test_same_seed_reproduces_schedule(self, seed, rate_bps, model_name):
+        import random as _random
+
+        from repro.traffic.models import TRAFFIC_MODELS
+
+        model = TRAFFIC_MODELS[model_name]()
+        spec = self._spec(rate_bps)
+
+        def first(n: int) -> list:
+            gen = model.arrivals(spec, _random.Random(seed))
+            return [next(gen) for _ in range(n)]
+
+        assert first(40) == first(40)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        rate_bps=st.floats(500.0, 50_000.0),
+        model_name=st.sampled_from(["cbr", "poisson", "onoff", "vbr"]),
+    )
+    @settings(max_examples=150)
+    def test_gaps_nonnegative_sizes_positive(self, seed, rate_bps, model_name):
+        import random as _random
+
+        from repro.traffic.models import TRAFFIC_MODELS
+
+        gen = TRAFFIC_MODELS[model_name]().arrivals(
+            self._spec(rate_bps), _random.Random(seed)
+        )
+        total = 0.0
+        for _ in range(60):
+            gap, size = next(gen)
+            assert gap >= 0.0
+            assert size >= 1
+            total += gap
+        assert total > 0.0  # schedules advance; no zero-time packet storms
+
+    @given(
+        flow_count=st.integers(1, 10),
+        seed=st.integers(0, 1000),
+        duration=st.floats(50.0, 2000.0),
+    )
+    @settings(max_examples=100)
+    def test_flow_dynamics_rewrite_invariants(self, flow_count, seed, duration):
+        import random as _random
+
+        from repro.traffic.flows import FlowSpec
+        from repro.traffic.models import FlowDynamicsSpec, apply_flow_dynamics
+
+        flows = [
+            FlowSpec(flow_id=i, source=i, destination=100 + i, rate_bps=4000.0)
+            for i in range(flow_count)
+        ]
+        spec = FlowDynamicsSpec()
+        rewritten = apply_flow_dynamics(
+            flows, spec, duration, _random.Random(seed)
+        )
+        assert rewritten == apply_flow_dynamics(
+            flows, spec, duration, _random.Random(seed)
+        )
+        for flow in rewritten:
+            low, high = spec.arrival_window
+            assert low * duration <= flow.start <= high * duration
+            assert flow.stop is None or flow.start < flow.stop < duration
+
+
 class TestStatsProperties:
     @given(
         samples=st.lists(

@@ -1,0 +1,573 @@
+"""Tests for the pluggable traffic-model subsystem.
+
+Covers the contracts the subsystem promises:
+
+* :class:`TrafficSpec` parsing/validation and the CLI syntax;
+* every generator's schedule is a pure function of its RNG stream, streams
+  are independent across flows, and ``stop`` is honored mid-burst;
+* endpoint patterns (convergecast, pairs) select what they claim, and
+  selection failures name the offending ``(count, node_count)``;
+* flow dynamics rewrite starts/stops deterministically;
+* non-CBR cells honor the determinism contract
+  (serial == parallel == cached, pinned by digest) and partition the
+  result-store key space;
+* pure-CBR payloads carry no traffic block (the byte-identity guard — the
+  digests themselves are pinned in ``test_orchestration.py`` and
+  ``test_mobility.py``);
+* duplicate accounting: a lost-ACK retransmission increments
+  ``duplicates``, never ``received``, and delivery ratio is an unclamped
+  quotient so accounting bugs would actually surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.experiments.parallel import grid_cells, run_grid
+from repro.experiments.runner import run_single
+from repro.experiments.scenarios import (
+    Scenario,
+    bursty_small,
+    convergecast_grid,
+    grid_network,
+)
+from repro.experiments.store import (
+    CACHE_FORMAT_VERSION,
+    ResultStore,
+    cell_key,
+    scenario_fingerprint,
+)
+from repro.metrics.collectors import RunResult, aggregate_traffic
+from repro.metrics.stats import percentile
+from repro.net.topology import Placement
+from repro.sim.engine import Simulator
+from repro.traffic.cbr import FlowStats
+from repro.traffic.flows import (
+    FlowSelectionError,
+    FlowSpec,
+    convergecast_flows,
+    pairs_flows,
+    random_flows,
+)
+from repro.traffic.models import (
+    TRAFFIC_MODELS,
+    FlowDynamicsSpec,
+    OnOffModel,
+    PoissonModel,
+    TrafficSpec,
+    apply_flow_dynamics,
+    parse_traffic_spec,
+)
+from tests.conftest import build_network
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _tiny(name: str, **overrides) -> Scenario:
+    """A 3x3 grid cell that simulates in well under a second."""
+    defaults = dict(
+        name=name,
+        node_count=9,
+        field_size=120.0,
+        flow_count=3,
+        rates_kbps=(2.0,),
+        duration=40.0,
+        runs=1,
+        grid=True,
+        protocols=("DSR-ODPM",),
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+_LINK = Placement({0: (0.0, 0.0), 1: (100.0, 0.0)}, width=100.0, height=1.0)
+
+
+class TestTrafficSpec:
+    def test_defaults_are_cbr(self):
+        spec = TrafficSpec()
+        assert spec.is_cbr
+        assert spec.build().arrivals is not None
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic model"):
+            TrafficSpec("fractal")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="takes no parameter"):
+            TrafficSpec("poisson", (("burstiness", 2.0),))
+
+    def test_params_canonicalized(self):
+        a = TrafficSpec("onoff", (("on", 2.0), ("off", 6.0)))
+        b = TrafficSpec("onoff", (("off", 6), ("on", 2)))
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_parse_cli_syntax(self):
+        assert parse_traffic_spec("poisson") == TrafficSpec("poisson")
+        assert parse_traffic_spec("onoff:on=2,off=8") == TrafficSpec(
+            "onoff", (("on", 2.0), ("off", 8.0))
+        )
+        with pytest.raises(ValueError, match="PARAM=VALUE"):
+            parse_traffic_spec("onoff:on")
+        with pytest.raises(ValueError, match="bad traffic parameter value"):
+            parse_traffic_spec("vbr:jitter=lots")
+
+    def test_fingerprint_roundtrip(self):
+        spec = TrafficSpec("vbr", (("jitter", 0.5),))
+        assert TrafficSpec.from_payload(spec.fingerprint()) == spec
+
+    def test_model_param_validation(self):
+        with pytest.raises(ValueError):
+            OnOffModel(on=0.0)
+        # Bad *values* (not just names) surface at spec construction, so a
+        # CLI typo fails in argparse instead of deep inside a sweep worker.
+        with pytest.raises(ValueError):
+            TrafficSpec("vbr", (("jitter", 1.5),))
+        with pytest.raises(ValueError):
+            parse_traffic_spec("onoff:on=0")
+        # Duplicate names would mean one behaviour under two cache keys.
+        with pytest.raises(ValueError, match="duplicate traffic parameter"):
+            parse_traffic_spec("onoff:on=1,on=2")
+
+
+class TestGeneratorDeterminism:
+    SPEC = FlowSpec(flow_id=0, source=0, destination=1, rate_bps=4096.0)
+
+    @pytest.mark.parametrize("model_name", sorted(TRAFFIC_MODELS))
+    def test_same_seed_same_schedule(self, model_name):
+        model = TRAFFIC_MODELS[model_name]()
+
+        def first(n: int) -> list:
+            gen = model.arrivals(self.SPEC, random.Random(42))
+            return [next(gen) for _ in range(n)]
+
+        assert first(100) == first(100)
+
+    @pytest.mark.parametrize("model_name", sorted(TRAFFIC_MODELS))
+    def test_gaps_and_sizes_sane(self, model_name):
+        model = TRAFFIC_MODELS[model_name]()
+        gen = model.arrivals(self.SPEC, random.Random(7))
+        for _ in range(200):
+            gap, size = next(gen)
+            assert gap >= 0.0
+            assert size >= 1
+
+    def test_cbr_never_touches_rng(self):
+        """The byte-identity guarantee: CBR draws nothing from its stream."""
+
+        class Tripwire(random.Random):
+            def random(self):  # pragma: no cover - failure path
+                raise AssertionError("CBR touched the RNG")
+
+        gen = TRAFFIC_MODELS["cbr"]().arrivals(self.SPEC, Tripwire())
+        schedule = [next(gen) for _ in range(10)]
+        assert schedule[0] == (0.0, 128)
+        assert all(gap == self.SPEC.interval for gap, _ in schedule[1:])
+
+    def test_flow_streams_independent(self):
+        """Draws on one flow's stream never perturb another's schedule."""
+        model = PoissonModel()
+
+        def alone() -> list:
+            sim = Simulator(seed=7)
+            gen = model.arrivals(self.SPEC, sim.rng("traffic/0"))
+            return [next(gen) for _ in range(50)]
+
+        def interleaved() -> list:
+            sim = Simulator(seed=7)
+            gen0 = model.arrivals(self.SPEC, sim.rng("traffic/0"))
+            gen1 = model.arrivals(self.SPEC, sim.rng("traffic/1"))
+            out = []
+            for _ in range(50):
+                out.append(next(gen0))
+                next(gen1)  # concurrent flow drawing from its own stream
+            return out
+
+        assert alone() == interleaved()
+
+    def test_distinct_flows_get_distinct_schedules(self):
+        model = PoissonModel()
+        sim = Simulator(seed=7)
+        gen0 = model.arrivals(self.SPEC, sim.rng("traffic/0"))
+        gen1 = model.arrivals(self.SPEC, sim.rng("traffic/1"))
+        assert [next(gen0) for _ in range(20)] != [
+            next(gen1) for _ in range(20)
+        ]
+
+
+class TestTrafficSourceEndToEnd:
+    def test_poisson_offered_load_near_nominal(self):
+        spec = FlowSpec(
+            flow_id=0,
+            source=0,
+            destination=1,
+            rate_bps=4096.0,
+            start=1.0,
+            traffic=TrafficSpec("poisson"),
+        )
+        network = build_network(_LINK, "DSR-Active", [spec], duration=31.0)
+        result = network.run()
+        stats = result.flows[0]
+        # 30 s at a nominal 4 packets/s: the Poisson count is random but
+        # seed-pinned; anything in a generous band proves the model ran.
+        assert 60 <= stats.sent <= 180
+        assert stats.received >= stats.sent - 1
+        assert result.traffic is not None
+        assert result.traffic["latency_p95"] >= result.traffic["latency_p50"]
+
+    def test_stop_honored_mid_burst(self):
+        """The first due packet at or after ``stop`` ends the chain."""
+        traffic = TrafficSpec("onoff", (("on", 2.0), ("off", 1.0)))
+        spec = FlowSpec(
+            flow_id=0,
+            source=0,
+            destination=1,
+            rate_bps=4096.0,
+            start=1.0,
+            stop=6.0,
+            traffic=traffic,
+        )
+        network = build_network(_LINK, "DSR-Active", [spec], duration=12.0)
+        stats = network.run().flows[0]
+        # Replay the same named stream offline: emissions are exactly the
+        # arrivals strictly before ``stop``, wherever the burst stood.
+        gen = traffic.build().arrivals(
+            spec, Simulator(seed=1).rng("traffic/0")
+        )
+        now, expected = spec.start, 0
+        for gap, _ in gen:
+            now += gap
+            if now >= spec.stop:
+                break
+            expected += 1
+        assert stats.sent == expected > 0
+
+    def test_vbr_byte_accounting(self):
+        spec = FlowSpec(
+            flow_id=0,
+            source=0,
+            destination=1,
+            rate_bps=4096.0,
+            start=1.0,
+            traffic=TrafficSpec("vbr"),
+        )
+        network = build_network(_LINK, "DSR-Active", [spec], duration=21.0)
+        result = network.run()
+        stats = result.flows[0]
+        # Sizes vary, so byte counters diverge from count * packet_bytes.
+        assert stats.sent_bytes != stats.sent * spec.packet_bytes
+        assert 0 < stats.received_bytes <= stats.sent_bytes
+        assert stats.delivered_bits == stats.received_bytes * 8
+        payload_entry = result.to_payload()["flows"][0]
+        assert payload_entry["received_bytes"] == stats.received_bytes
+
+    def test_latency_percentiles_and_jitter_recorded(self):
+        spec = FlowSpec(
+            flow_id=0,
+            source=0,
+            destination=1,
+            rate_bps=4096.0,
+            start=1.0,
+            traffic=TrafficSpec("poisson"),
+        )
+        network = build_network(_LINK, "DSR-Active", [spec], duration=16.0)
+        result = network.run()
+        stats = result.flows[0]
+        assert len(stats.latencies) == stats.received
+        assert stats.latency_percentile(0.5) > 0.0
+        assert stats.jitter >= 0.0
+        block = result.traffic
+        assert block is not None
+        for key in ("offered_bytes", "received_bytes", "latency_p50",
+                    "latency_p95", "latency_p99", "jitter"):
+            assert key in block
+
+
+class TestDuplicateAccounting:
+    def test_lost_ack_retransmission_counts_as_duplicate(self):
+        """A replayed frame (lost-ACK retransmit) never inflates delivery."""
+        from repro.sim.packet import make_data_packet
+
+        spec = FlowSpec(
+            flow_id=0, source=0, destination=1, rate_bps=4096.0, start=1.0
+        )
+        network = build_network(_LINK, "DSR-Active", [spec], duration=6.0)
+        result = network.run()
+        stats = result.flows[0]
+        received, duplicates = stats.received, stats.duplicates
+        assert received > 0 and duplicates == 0
+        # Replay seqno 0 exactly as the MAC delivers it when its ACK was
+        # lost and the previous hop retransmitted an already-seen frame.
+        network.nodes[1].deliver_to_app(
+            make_data_packet(
+                origin=0, final_dst=1, src=0, dst=1, flow_id=0, seqno=0,
+                created_at=0.0,
+            )
+        )
+        assert stats.received == received  # unchanged
+        assert stats.duplicates == duplicates + 1
+        assert stats.delivery_ratio <= 1.0
+
+    def test_delivery_ratio_is_not_clamped(self):
+        """An accounting bug (received > sent) must surface, not clamp."""
+        spec = FlowSpec(flow_id=0, source=0, destination=1, rate_bps=1000.0)
+        broken = FlowStats(spec=spec, sent=10, received=12)
+        assert broken.delivery_ratio == pytest.approx(1.2)
+
+
+class TestFlowPatterns:
+    NODES = list(range(20))
+
+    def test_convergecast_single_sink(self):
+        flows = convergecast_flows(self.NODES, 8, 4000.0, random.Random(1))
+        sinks = {flow.destination for flow in flows}
+        assert len(sinks) == 1
+        sources = [flow.source for flow in flows]
+        assert len(set(sources)) == 8
+        assert sinks.isdisjoint(sources)
+
+    def test_pairs_disjoint_and_bidirectional(self):
+        flows = pairs_flows(self.NODES, 6, 4000.0, random.Random(1))
+        assert len(flows) == 6
+        endpoints = [frozenset((f.source, f.destination)) for f in flows]
+        # Three distinct pairs, each appearing once per direction.
+        assert len(set(endpoints)) == 3
+        for pair in set(endpoints):
+            directions = {
+                (f.source, f.destination)
+                for f in flows
+                if frozenset((f.source, f.destination)) == pair
+            }
+            assert len(directions) == 2
+
+    def test_pairs_odd_count_leaves_last_unidirectional(self):
+        flows = pairs_flows(self.NODES, 5, 4000.0, random.Random(1))
+        assert len(flows) == 5
+        assert len({frozenset((f.source, f.destination)) for f in flows}) == 3
+
+    def test_selection_errors_name_the_dimensions(self):
+        with pytest.raises(FlowSelectionError) as excinfo:
+            convergecast_flows(self.NODES, 20, 4000.0, random.Random(1))
+        assert "20 flows from 20 nodes" in str(excinfo.value)
+        assert excinfo.value.count == 20
+        assert excinfo.value.node_count == 20
+
+        with pytest.raises(FlowSelectionError) as excinfo:
+            random_flows([1, 2], 3, 4000.0, random.Random(1))
+        assert "3 flows from 2 nodes" in str(excinfo.value)
+
+        with pytest.raises(FlowSelectionError) as excinfo:
+            pairs_flows([1, 2, 3], 4, 4000.0, random.Random(1))
+        assert excinfo.value.node_count == 3
+
+    def test_selection_error_pickles(self):
+        import pickle
+
+        error = FlowSelectionError(5, 3, "boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.count == 5 and clone.node_count == 3
+        assert str(clone) == str(error)
+
+    def test_scenario_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError, match="unknown flow pattern"):
+            _tiny("tiny-bad-pattern", pattern="gossip")
+
+
+class TestFlowDynamics:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FlowDynamicsSpec(arrival_window=(0.5, 0.2))
+        with pytest.raises(ValueError):
+            FlowDynamicsSpec(hold_fraction=0.0)
+
+    def test_rewrite_is_deterministic_and_windowed(self):
+        flows = [
+            FlowSpec(flow_id=i, source=i, destination=10 + i, rate_bps=4000.0)
+            for i in range(8)
+        ]
+        spec = FlowDynamicsSpec(arrival_window=(0.1, 0.4), hold_fraction=0.3)
+
+        def rewrite(seed: int):
+            return apply_flow_dynamics(
+                flows, spec, 100.0, random.Random(seed)
+            )
+
+        first, again, other = rewrite(1), rewrite(1), rewrite(2)
+        assert first == again
+        assert first != other
+        for flow in first:
+            assert 10.0 <= flow.start <= 40.0
+            assert flow.stop is None or flow.start < flow.stop < 100.0
+
+    def test_scenario_flows_apply_dynamics(self):
+        scenario = _tiny("tiny-dynamics").with_flow_dynamics(
+            FlowDynamicsSpec(arrival_window=(0.1, 0.5), hold_fraction=0.5)
+        )
+        flows = scenario.flows(seed=1, rate_kbps=2.0)
+        assert flows == scenario.flows(seed=1, rate_kbps=2.0)
+        starts = {flow.start for flow in flows}
+        assert len(starts) == len(flows)  # staggered, not the [20, 25] window
+        assert all(4.0 <= start <= 20.0 for start in starts)
+
+
+class TestTrafficDeterminismContract:
+    """Non-CBR cells are pinned exactly like the static fig8 cell.
+
+    If a PR intentionally changes traffic behaviour, re-record these
+    digests AND bump ``CACHE_FORMAT_VERSION``.
+    """
+
+    #: sha256 of the canonical-JSON payloads of the tiny 3x3 cells at
+    #: (DSR-ODPM, 2 Kbit/s, seed 1), one per generator.
+    TINY_DIGESTS = {
+        "poisson": (
+            "fc4a0ec4bcdbbeee0f9fd6bf253464bfc9494ed6ca23b0ace1875b2af0ed913f"
+        ),
+        "onoff": (
+            "13e9759747bb5734c9e9cf64811974baeed2e68d72bd76fedf2240cf43da527b"
+        ),
+        "vbr": (
+            "7ceead976456782ac798a9155b1bd022dbafa04aca25913c8578fac210959c85"
+        ),
+    }
+    #: sha256 of the bursty-small (smoke) cell at (DSR-ODPM, 4 Kbit/s, seed 1).
+    BURSTY_CELL_DIGEST = (
+        "1f74906d950ebea9d247530ec5dd57812c1c44353f026dba98a9edfae7832936"
+    )
+    #: sha256 of the convergecast-grid (smoke) cell at (DSR-ODPM, 2 Kbit/s,
+    #: seed 1).
+    CONVERGECAST_CELL_DIGEST = (
+        "dfb233432aedae211c121ab3680aa6f57d709940d5a4693ad89a8325860c5bff"
+    )
+
+    @staticmethod
+    def _model_scenario(model_name: str) -> Scenario:
+        specs = {
+            "poisson": TrafficSpec("poisson"),
+            "onoff": TrafficSpec("onoff", (("on", 1.0), ("off", 3.0))),
+            "vbr": TrafficSpec("vbr"),
+        }
+        return _tiny(
+            "tiny-traffic-%s" % model_name, traffic=specs[model_name]
+        )
+
+    @pytest.mark.parametrize("model_name", sorted(TINY_DIGESTS))
+    def test_model_cell_serial_parallel_cached_identical(
+        self, model_name, tmp_path
+    ):
+        scenario = self._model_scenario(model_name)
+        cells = grid_cells(scenario, ("DSR-ODPM",), (2.0,), seeds=(1,))
+        (cell,) = cells
+        serial = run_grid(scenario, cells, jobs=1)
+        parallel = run_grid(scenario, cells, jobs=2)
+        store = ResultStore(tmp_path)
+        run_grid(scenario, cells, jobs=1, store=store)
+        cached = run_grid(scenario, cells, jobs=1, store=store)
+        assert store.hits == 1  # second pass simulated nothing
+        digests = {
+            _digest(results[cell].to_payload())
+            for results in (serial, parallel, cached)
+        }
+        assert digests == {self.TINY_DIGESTS[model_name]}
+
+    def test_bursty_preset_digest_pinned(self):
+        result = run_single(bursty_small(scale="smoke"), "DSR-ODPM", 4.0, seed=1)
+        assert result.traffic is not None
+        assert _digest(result.to_payload()) == self.BURSTY_CELL_DIGEST
+
+    def test_convergecast_preset_digest_pinned(self):
+        result = run_single(
+            convergecast_grid(scale="smoke"), "DSR-ODPM", 2.0, seed=1
+        )
+        assert result.traffic is not None
+        assert _digest(result.to_payload()) == self.CONVERGECAST_CELL_DIGEST
+
+    def test_cache_format_version_bumped_for_traffic(self):
+        """PR contract: the traffic subsystem invalidates v2 caches."""
+        assert CACHE_FORMAT_VERSION == 3
+
+    def test_traffic_params_enter_cell_key(self):
+        static = grid_network(scale="smoke")
+        poisson = static.with_traffic(TrafficSpec("poisson"))
+        pattern = static.with_pattern("convergecast")
+        dynamic = static.with_flow_dynamics()
+        keys = {
+            cell_key(scenario, "DSR-ODPM", 2.0, 1)
+            for scenario in (static, poisson, pattern, dynamic)
+        }
+        assert len(keys) == 4
+        slower = static.with_traffic(TrafficSpec("onoff", (("on", 9.0),)))
+        assert cell_key(slower, "DSR-ODPM", 2.0, 1) != cell_key(
+            static.with_traffic(TrafficSpec("onoff")), "DSR-ODPM", 2.0, 1
+        )
+
+    def test_fingerprint_covers_workload_axes(self):
+        fingerprint = scenario_fingerprint(convergecast_grid(scale="smoke"))
+        assert fingerprint["traffic"]["model"] == "poisson"
+        assert fingerprint["pattern"] == "convergecast"
+        assert fingerprint["flow_dynamics"] is None
+
+
+class TestPayloadCompatibility:
+    def test_pure_cbr_payload_has_no_traffic_keys(self):
+        scenario = grid_network(scale="smoke").scaled(duration=10.0, runs=1)
+        result = run_single(scenario, "DSR-ODPM", 2.0, seed=1)
+        payload = result.to_payload()
+        assert result.traffic is None
+        assert "traffic" not in payload
+        for entry in payload["flows"]:
+            assert "traffic" not in entry["spec"]
+            assert "sent_bytes" not in entry
+
+    def test_non_cbr_payload_roundtrips(self):
+        scenario = _tiny("tiny-roundtrip", traffic=TrafficSpec("poisson"))
+        result = run_single(scenario, "DSR-ODPM", 2.0, seed=1)
+        clone = RunResult.from_payload(result.to_payload())
+        assert clone.traffic == result.traffic
+        assert _digest(clone.to_payload()) == _digest(result.to_payload())
+        assert clone.flows[0].spec.traffic == TrafficSpec("poisson")
+        assert clone.delivered_bits == result.delivered_bits
+
+    def test_aggregate_traffic_mixed_runs(self):
+        def make(seed: int, traffic: dict | None) -> RunResult:
+            return RunResult(
+                protocol="DSR-ODPM",
+                seed=seed,
+                duration=1.0,
+                flows=[],
+                energy_summary={"e_network": 1.0, "transmit_energy": 0.0},
+                traffic=traffic,
+            )
+
+        runs = [
+            make(1, {"jitter": 0.2}),
+            make(2, {"jitter": 0.4}),
+            make(3, None),  # pure-CBR runs contribute nothing
+        ]
+        aggregated = aggregate_traffic(runs)
+        assert aggregated["jitter"].mean == pytest.approx(0.3)
+        assert aggregate_traffic([make(1, None)]) == {}
+
+
+class TestPercentile:
+    def test_empty_and_single(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_interpolates(self):
+        values = [0.0, 1.0, 2.0, 3.0]
+        assert percentile(values, 0.5) == pytest.approx(1.5)
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 3.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
