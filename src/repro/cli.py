@@ -20,10 +20,16 @@ print aligned rows.  ``--scale`` selects ``smoke`` (seconds), ``bench``
 Every grid-backed command (``fig8``–``fig16``, ``table2``, ``sweep``)
 accepts ``--jobs N`` (fan the grid out across N worker processes; results
 are bit-identical to ``--jobs 1``), ``--cache-dir DIR`` (reuse completed
-runs from a persistent result store) and ``--progress`` (per-cell
-progress/ETA on stderr).  ``run`` and ``lifetime`` execute a single ad hoc
-simulation and take neither.  See :mod:`repro.experiments.parallel` and
-:mod:`repro.experiments.store`.
+runs from a persistent result store), ``--progress`` (progress/ETA on
+stderr, counted in cells) and ``--batch``/``--no-batch`` (dispatch each
+(protocol, rate) group's seeds as one batch — the default — or one cell
+at a time; results are bit-identical either way).  ``run`` and
+``lifetime`` execute a single ad hoc simulation and take none of these.
+See :mod:`repro.experiments.parallel` and :mod:`repro.experiments.store`.
+
+``cache ls`` and ``cache verify`` inspect a ``--cache-dir`` store without
+simulating: entry counts per scenario fingerprint, and an integrity check
+over a sample of stored entries.
 
 Every grid-backed command also accepts ``--mobility VMAX``
 (random-waypoint movement, speeds 1–VMAX m/s) and ``--churn N`` (N relay
@@ -160,7 +166,8 @@ def _field_figure(args: argparse.Namespace, metric: str, title: str,
     scenario = _apply_dynamics(scenario_factory(scale=args.scale), args)
     rates = scenario.rates_kbps if args.scale == "paper" else (2.0, 4.0, 6.0)
     grid = sweep(scenario, rates_kbps=rates, jobs=args.jobs,
-                 store=_store_from_args(args), progress=args.progress)
+                 store=_store_from_args(args), progress=args.progress,
+                 batch=args.batch)
     series = {}
     for protocol in scenario.protocols:
         values = [
@@ -210,7 +217,8 @@ def _cmd_fig10(args: argparse.Namespace) -> None:
         # One orchestrated grid per scenario so --jobs spans the whole
         # protocol x rate x seed block, not one run_many at a time.
         grid = sweep(scenario, protocols=protocols, rates_kbps=rates,
-                     jobs=args.jobs, store=store, progress=args.progress)
+                     jobs=args.jobs, store=store, progress=args.progress,
+                     batch=args.batch)
         for protocol in protocols:
             values = [
                 grid[(protocol, rate)].transmit_energy.mean for rate in rates
@@ -229,7 +237,7 @@ def _cmd_table2(args: argparse.Namespace) -> None:
             density_network(node_count, scale=args.scale), args
         )
         grid = sweep(scenario, rates_kbps=(4.0,), jobs=args.jobs,
-                     store=store, progress=args.progress)
+                     store=store, progress=args.progress, batch=args.batch)
         for protocol in scenario.protocols:
             agg = grid[(protocol, 4.0)]
             print(
@@ -360,6 +368,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         jobs=args.jobs,
         store=store,
         progress=args.progress,
+        batch=args.batch,
     )
     print(
         "Sweep: %s  (%d protocols x %d rates x %d seeds, jobs=%d)"
@@ -393,6 +402,72 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         )
 
 
+def _existing_store(cache_dir: str) -> ResultStore:
+    """A ResultStore over a directory that must already exist.
+
+    Inspection commands must not mkdir: a typo'd ``--cache-dir`` would
+    otherwise silently create an empty store and report it healthy.
+    """
+    import pathlib
+
+    if not pathlib.Path(cache_dir).is_dir():
+        raise SystemExit(
+            "error: no result store at %s (cache ls/verify never create "
+            "one; check --cache-dir)" % cache_dir
+        )
+    return ResultStore(cache_dir)
+
+
+def _cmd_cache_ls(args: argparse.Namespace) -> None:
+    """Entry counts per scenario fingerprint for a result store."""
+    store = _existing_store(args.cache_dir)
+    report = store.summary()
+    total = sum(section["total"] for section in report.values())
+    print("Result store: %s  (%d entries)" % (store.root, total))
+    for kind in ("runs", "routes"):
+        section = report[kind]
+        print("%-7s %d entries" % (kind, section["total"]))
+        rows = sorted(
+            section["scenarios"].items(),
+            key=lambda item: (-item[1]["count"], item[0]),
+        )
+        for fp_id, group in rows:
+            label = group.get("name") or fp_id
+            detail = ""
+            if group.get("node_count") is not None:
+                detail = "  (%d nodes, cache v%s)" % (
+                    group["node_count"],
+                    group.get("version"),
+                )
+            print(
+                "  %-14s %-24s %6d%s"
+                % (fp_id if group.get("name") else "", label,
+                   group["count"], detail)
+            )
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> None:
+    """Integrity-check a sample of stored entries; exit 1 on corruption."""
+    store = _existing_store(args.cache_dir)
+    report = store.verify_sample(sample=args.sample)
+    print(
+        "Verified %d of %d entries in %s: %d ok (%d legacy, "
+        "written before payload digests), %d failed"
+        % (
+            report["checked"],
+            len(store),
+            store.root,
+            report["ok"],
+            report["legacy"],
+            len(report["failures"]),
+        )
+    )
+    for _key, why in report["failures"]:
+        print("  FAIL %s" % why)
+    if report["failures"]:
+        raise SystemExit(1)
+
+
 def _cmd_validate(args: argparse.Namespace) -> None:
     from repro.experiments.validation import print_report, validate
 
@@ -419,27 +494,20 @@ def render_cli_reference() -> str:
             "<!-- Generated by `python -m repro cli-doc`. Do not edit by "
             "hand: tests/test_docs.py fails when this file drifts from "
             "the argparse tree. -->",
-            "",
-            "## repro",
-            "",
-            "```text",
-            parser.format_help().rstrip(),
-            "```",
         ]
-        subparsers = next(
-            action
-            for action in parser._actions
-            if isinstance(action, argparse._SubParsersAction)
-        )
-        for name, sub in subparsers.choices.items():
-            sections += [
-                "",
-                "## repro %s" % name,
-                "",
-                "```text",
-                sub.format_help().rstrip(),
-                "```",
-            ]
+
+        def _emit(title: str, node: argparse.ArgumentParser) -> None:
+            """One section per parser, nested subcommands directly after."""
+            sections.extend(
+                ["", "## %s" % title, "", "```text",
+                 node.format_help().rstrip(), "```"]
+            )
+            for action in node._actions:
+                if isinstance(action, argparse._SubParsersAction):
+                    for name, sub in action.choices.items():
+                        _emit("%s %s" % (title, name), sub)
+
+        _emit("repro", parser)
         return "\n".join(sections) + "\n"
     finally:
         if previous is None:
@@ -476,6 +544,24 @@ def _cmd_perf(args: argparse.Namespace) -> None:
         print("report written to %s" % args.out)
 
 
+def _cmd_perf_batch(args: argparse.Namespace) -> None:
+    from repro.perf import (
+        format_batch_report,
+        run_batch_benchmarks,
+        write_benchmark_report,
+    )
+
+    report = run_batch_benchmarks(
+        node_counts=tuple(args.nodes),
+        seeds=args.seeds,
+        duration=args.duration,
+    )
+    print(format_batch_report(report))
+    if args.out:
+        write_benchmark_report(report, args.out)
+        print("report written to %s" % args.out)
+
+
 def _mobility_vmax(text: str) -> float:
     """argparse type for ``--mobility``: a positive speed in m/s."""
     value = float(text)
@@ -492,6 +578,16 @@ def _churn_count(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             "N must be at least 1 failure, got %s" % text
+        )
+    return value
+
+
+def _sample_count(text: str) -> int:
+    """argparse type for ``cache verify --sample``: at least one entry."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "SAMPLE must be at least 1, got %s" % text
         )
     return value
 
@@ -537,7 +633,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent result store; completed runs are "
                             "reused instead of re-simulated")
         p.add_argument("--progress", action="store_true",
-                       help="per-cell progress/ETA on stderr")
+                       help="progress/ETA on stderr, counted in cells")
+        p.add_argument("--batch", dest="batch", action="store_true",
+                       default=True,
+                       help="dispatch each (protocol, rate) group's seeds "
+                            "as one batch, sharing setup work (default; "
+                            "results are bit-identical to --no-batch)")
+        p.add_argument("--no-batch", dest="batch", action="store_false",
+                       help="dispatch one (protocol, rate, seed) cell at "
+                            "a time")
         p.add_argument("--mobility", type=_mobility_vmax, default=None,
                        metavar="VMAX",
                        help="random-waypoint mobility with speeds up to "
@@ -585,6 +689,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     add("validate", _cmd_validate, "check every reproduced paper claim")
 
+    # Store maintenance: inspect a --cache-dir without simulating.
+    cache_parser = sub.add_parser(
+        "cache", help="result-store maintenance (ls, verify)"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    cache_ls = cache_sub.add_parser(
+        "ls", help="entry counts per scenario fingerprint"
+    )
+    cache_ls.set_defaults(func=_cmd_cache_ls)
+    cache_ls.add_argument("--cache-dir", required=True,
+                          help="result store directory to inspect")
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="integrity-check a sample of stored entries (exit 1 on "
+             "corruption)",
+    )
+    cache_verify.set_defaults(func=_cmd_cache_verify)
+    cache_verify.add_argument("--cache-dir", required=True,
+                              help="result store directory to verify")
+    cache_verify.add_argument("--sample", type=_sample_count, default=16,
+                              help="entries to re-verify per kind "
+                                   "(at least 1; deterministic, evenly "
+                                   "spaced; default 16)")
+
     # No --scale: the benchmark workloads are fixed so reports stay
     # comparable across PRs (the fig8 cell is always the smoke preset).
     perf_parser = add("perf", _cmd_perf,
@@ -601,6 +730,21 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--rate", type=float, default=8.0,
                              help="fig8-cell rate in Kbit/s")
     perf_parser.add_argument("--seed", type=int, default=1)
+
+    batch_perf = add("perf-batch", _cmd_perf_batch,
+                     "batched-execution setup benchmark (BENCH_batch.json)",
+                     scale=False)
+    batch_perf.add_argument("--out", default=None, metavar="PATH",
+                            help="write the JSON report to PATH")
+    batch_perf.add_argument("--nodes", nargs="+", type=int,
+                            default=[100, 300, 400],
+                            help="node counts to measure")
+    batch_perf.add_argument("--seeds", type=int, default=8,
+                            help="seeds per batch (default 8, the "
+                                 "committed baseline's workload)")
+    batch_perf.add_argument("--duration", type=float, default=30.0,
+                            help="scenario duration in simulated seconds "
+                                 "(setup cost does not depend on it)")
 
     doc_parser = add("cli-doc", _cmd_cli_doc,
                      "regenerate docs/cli.md from this parser tree",

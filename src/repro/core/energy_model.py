@@ -47,8 +47,10 @@ class NodeEnergy:
     sleep: float = 0.0
     switch: float = 0.0
     #: Occupancy time per radio state, for conservation checks.
+    #: (``.copy`` of a module-level template: building the dict from the
+    #: enum per node was measurable at dense-network assembly time.)
     state_time: dict[RadioState, float] = field(
-        default_factory=lambda: {state: 0.0 for state in RadioState}
+        default_factory={state: 0.0 for state in RadioState}.copy
     )
 
     # ------------------------------------------------------------------

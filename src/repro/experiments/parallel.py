@@ -8,16 +8,29 @@ exploits that — it fans grid cells out across a
 from a :class:`~repro.experiments.store.ResultStore`, and reports
 progress/ETA while a sweep is running.
 
+The unit of dispatch is a **batch of seeds**: all cells of one
+``(protocol, rate)`` group travel to a worker as one :class:`GridBatch`,
+so a group pays process startup once and — for scenarios whose placement
+does not depend on the seed — derives its placement and frozen channel
+geometry once (see :func:`repro.experiments.runner.run_batch`).  The
+result store stays **per cell**: batching changes how work reaches a
+worker, never what is cached or under which key.  ``batch=False`` restores
+the per-cell fan-out.
+
 Determinism is preserved by construction: each cell re-derives every random
 stream from its own seed (see :meth:`repro.sim.engine.Simulator.rng`), so a
-parallel sweep is **bit-identical** to a serial one; aggregation always
-folds runs in ascending-seed order so even floating-point summation order
-matches the serial path.
+parallel sweep is **bit-identical** to a serial one — and a batched sweep
+to a per-cell one: serial == parallel == cached == batched is the
+four-way contract pinned by ``tests/test_orchestration.py``.  Aggregation
+always folds runs in ascending-seed order so even floating-point summation
+order matches the serial path.
 
 The public surface:
 
 * :class:`GridCell` — one point of the sweep grid.
-* :func:`run_grid` — execute a set of cells (serial or parallel, cached).
+* :class:`GridBatch` — one dispatch unit: a (protocol, rate) group's seeds.
+* :func:`run_grid` — execute a set of cells (serial or parallel, cached,
+  batched or per-cell).
 * :func:`run_sweep` — full protocol x rate grid, aggregated per cell group;
   the engine behind :func:`repro.experiments.runner.sweep` and the
   ``repro sweep`` CLI command.
@@ -37,7 +50,7 @@ _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
 from repro.experiments.scenarios import Scenario
-from repro.experiments.store import ResultStore, cell_key
+from repro.experiments.store import ResultStore, cell_key, scenario_fingerprint
 from repro.metrics.collectors import AggregateResult, RunResult, aggregate_runs
 
 
@@ -55,6 +68,95 @@ class GridCell:
             self.rate_kbps,
             self.seed,
         )
+
+
+@dataclass(frozen=True)
+class GridBatch:
+    """One dispatch unit: every seed of a ``(protocol, rate)`` group.
+
+    Workers execute a whole batch per invocation
+    (:func:`repro.experiments.runner.run_batch`), amortizing process
+    startup and shared scenario setup across its seeds.  ``seeds`` keeps
+    the order the cells arrived in (ascending for grids built by
+    :func:`grid_cells`), and results come back in the same order, so
+    batching never reorders observable computation.
+    """
+
+    protocol: str
+    rate_kbps: float
+    seeds: tuple[int, ...]
+
+    def cells(self) -> list[GridCell]:
+        """The individual grid cells this batch covers, in seed order."""
+        return [
+            GridCell(self.protocol, self.rate_kbps, seed)
+            for seed in self.seeds
+        ]
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def __str__(self) -> str:
+        seeds = self.seeds
+        if len(seeds) == 1:
+            span = "seed %d" % seeds[0]
+        elif seeds == tuple(range(seeds[0], seeds[0] + len(seeds))):
+            span = "seeds %d-%d" % (seeds[0], seeds[-1])
+        else:
+            span = "seeds %s" % ",".join(str(seed) for seed in seeds)
+        return "%s @ %g Kbit/s, %s" % (self.protocol, self.rate_kbps, span)
+
+
+def batch_cells(cells: Iterable[GridCell]) -> list[GridBatch]:
+    """Group cells into per-(protocol, rate) batches.
+
+    Groups appear in first-encounter order and each batch's seeds keep
+    their cell order, so iterating the batches visits the same work in the
+    same sequence the per-cell dispatch would.
+    """
+    groups: dict[tuple[str, float], list[int]] = {}
+    for cell in cells:
+        groups.setdefault((cell.protocol, cell.rate_kbps), []).append(
+            cell.seed
+        )
+    return [
+        GridBatch(protocol, rate_kbps, tuple(seeds))
+        for (protocol, rate_kbps), seeds in groups.items()
+    ]
+
+
+def _split_for_jobs(batches: list[GridBatch], jobs: int) -> list[GridBatch]:
+    """Split seed groups until there are enough units to occupy ``jobs``.
+
+    A sweep with fewer ``(protocol, rate)`` groups than workers would
+    otherwise leave workers idle — the extreme being ``run_many`` (one
+    group), where batching would silently serialize every seed.  Each
+    group is cut into contiguous seed chunks (seed order preserved, so
+    results and store writes are unchanged); chunks stay as large as
+    possible to keep the shared-setup amortization.
+    """
+    if jobs <= 1 or not batches or len(batches) >= jobs:
+        return batches
+    pieces = -(-jobs // len(batches))  # ceil: chunks wanted per group
+    split: list[GridBatch] = []
+    for batch in batches:
+        count = min(len(batch.seeds), pieces)
+        if count <= 1:
+            split.append(batch)
+            continue
+        base, extra = divmod(len(batch.seeds), count)
+        start = 0
+        for index in range(count):
+            size = base + (1 if index < extra else 0)
+            split.append(
+                GridBatch(
+                    batch.protocol,
+                    batch.rate_kbps,
+                    batch.seeds[start:start + size],
+                )
+            )
+            start += size
+    return split
 
 
 class GridCellError(RuntimeError):
@@ -111,6 +213,18 @@ def _execute_cell(scenario: Scenario, cell: GridCell) -> RunResult:
         raise GridCellError(cell, "%s: %s" % (type(exc).__name__, exc)) from exc
 
 
+def _execute_batch(scenario: Scenario, batch: GridBatch) -> list[RunResult]:
+    """Run one batch's seeds; top-level so the process pool can pickle it.
+
+    Failures arrive as :class:`GridCellError` already naming the exact
+    failing ``(protocol, rate, seed)`` (see
+    :func:`repro.experiments.runner.run_batch`).
+    """
+    from repro.experiments.runner import run_batch
+
+    return run_batch(scenario, batch.protocol, batch.rate_kbps, batch.seeds)
+
+
 def _probe_routes(
     scenario: Scenario,
     protocol: str,
@@ -157,21 +271,12 @@ def _dispatch(
             raise
 
 
-def _run_cached(
+def _partition_cached(
     items: Sequence[_Item],
     get: Callable[[_Item], _Result | None],
-    put: Callable[[_Item, _Result], None],
-    task: Callable[[_Item], _Result],
-    label: Callable[[_Item], GridCell],
-    jobs: int,
     reporter: ProgressReporter,
-) -> dict[_Item, _Result]:
-    """Cached fan-out shared by :func:`run_grid` and :func:`discover_routes`.
-
-    Looks every item up via ``get`` first, dispatches the misses through
-    :func:`_dispatch`, persists fresh results via ``put`` (in the parent
-    process), and feeds the reporter throughout.
-    """
+) -> tuple[dict[_Item, _Result], list[_Item]]:
+    """Split ``items`` into store hits and still-pending work."""
     results: dict[_Item, _Result] = {}
     pending: list[_Item] = []
     for item in items:
@@ -181,6 +286,25 @@ def _run_cached(
         else:
             pending.append(item)
     reporter.cached(len(results))
+    return results, pending
+
+
+def _run_cached(
+    items: Sequence[_Item],
+    get: Callable[[_Item], _Result | None],
+    put: Callable[[_Item, _Result], None],
+    task: Callable[[_Item], _Result],
+    label: Callable[[_Item], GridCell],
+    jobs: int,
+    reporter: ProgressReporter,
+) -> dict[_Item, _Result]:
+    """Cached per-item fan-out (:func:`discover_routes`, unbatched grids).
+
+    Looks every item up via ``get`` first, dispatches the misses through
+    :func:`_dispatch`, persists fresh results via ``put`` (in the parent
+    process), and feeds the reporter throughout.
+    """
+    results, pending = _partition_cached(items, get, reporter)
 
     def _record(item: _Item, result: _Result) -> None:
         results[item] = result
@@ -203,12 +327,17 @@ def _make_reporter(
 class ProgressReporter:
     """Console progress/ETA for a running sweep.
 
-    Writes one line per completed cell to ``stream`` (default stderr, so
-    figures piped to a file stay clean)::
+    Writes one line per completed dispatch unit — a cell, or a whole
+    :class:`GridBatch` — to ``stream`` (default stderr, so figures piped
+    to a file stay clean)::
 
-        [ 7/24] TITAN-PC @ 4 Kbit/s, seed 2   elapsed 12.3s  ETA 29.8s
+        [ 7/24] TITAN-PC @ 4 Kbit/s, seed 2       elapsed 12.3s  ETA 29.8s
+        [20/24] TITAN-PC @ 4 Kbit/s, seeds 1-5    elapsed 41.0s  ETA  8.2s
 
-    ETA extrapolates from the mean wall-clock of live (non-cached) cells;
+    ``done``/``total`` and the ETA are always counted in **cells**, never
+    dispatch units, so a batched sweep (few large units) reports the same
+    scale — and the same ETA arithmetic — as a per-cell one.  ETA
+    extrapolates from the mean wall-clock of live (non-cached) cells;
     cache hits are reported once, up front.
     """
 
@@ -238,16 +367,22 @@ class ProgressReporter:
                 % (len(str(self.total)), self.done, self.total)
             )
 
-    def advance(self, cell: GridCell) -> None:
-        """Record one freshly-simulated cell and print progress + ETA."""
-        self.done += 1
-        self._live_done += 1
+    def advance(self, label: object, cells: int = 1) -> None:
+        """Record ``cells`` freshly-simulated cells and print progress + ETA.
+
+        ``label`` names the finished dispatch unit (a :class:`GridCell` or
+        :class:`GridBatch`); ``cells`` is how many grid cells it covered.
+        Extrapolating from cells — not dispatch units — keeps batched ETAs
+        honest: a 5-seed batch advances the clock 5 cells' worth.
+        """
+        self.done += cells
+        self._live_done += cells
         elapsed = time.monotonic() - self._start
         remaining = self.total - self.done
         eta = elapsed / self._live_done * remaining
         self._emit(
             "[%*d/%d] %-40s elapsed %6.1fs  ETA %6.1fs"
-            % (len(str(self.total)), self.done, self.total, cell, elapsed, eta)
+            % (len(str(self.total)), self.done, self.total, label, elapsed, eta)
         )
 
 
@@ -257,6 +392,7 @@ def run_grid(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress: bool | ProgressReporter = False,
+    batch: bool = True,
 ) -> dict[GridCell, RunResult]:
     """Execute ``cells``, fanning out across processes and reusing the store.
 
@@ -269,35 +405,71 @@ def run_grid(
     store:
         Optional :class:`ResultStore`; completed cells are looked up before
         simulating and persisted after, so repeated invocations with the
-        same store perform zero new simulations.
+        same store perform zero new simulations.  Lookups and writes are
+        always per cell, whatever the dispatch unit.
     progress:
         ``True`` for stderr progress/ETA lines, or a pre-built
         :class:`ProgressReporter`.
+    batch:
+        Group the pending cells of each ``(protocol, rate)`` pair into one
+        :class:`GridBatch` per worker invocation (the default), amortizing
+        process startup and — for shared-placement scenarios — the
+        placement/geometry pass across the group's seeds.  ``False``
+        dispatches one cell at a time.  Results are **bit-identical**
+        either way; only wall-clock and failure granularity change (a
+        failing seed discards its batch's earlier, not-yet-persisted
+        seeds).
 
     Raises
     ------
     GridCellError
         If any cell's simulation fails, naming the offending
-        ``(protocol, rate, seed)``.
+        ``(protocol, rate, seed)`` — under batching too.
     """
     cells = list(cells)
 
     def _key(cell: GridCell) -> str:
         return cell_key(scenario, cell.protocol, cell.rate_kbps, cell.seed)
 
-    return _run_cached(
-        cells,
-        get=(lambda cell: store.get_run(_key(cell)))
+    get = (
+        (lambda cell: store.get_run(_key(cell)))
         if store is not None
-        else lambda cell: None,
-        put=(lambda cell, result: store.put_run(_key(cell), result))
-        if store is not None
-        else lambda cell, result: None,
-        task=partial(_execute_cell, scenario),
-        label=lambda cell: cell,
-        jobs=jobs,
-        reporter=_make_reporter(progress, len(cells)),
+        else lambda cell: None
     )
+    if store is not None:
+        fingerprint = scenario_fingerprint(scenario)
+
+        def put(cell: GridCell, result: RunResult) -> None:
+            store.put_run(_key(cell), result, fingerprint=fingerprint)
+
+    else:
+
+        def put(cell: GridCell, result: RunResult) -> None:
+            return None
+
+    if not batch:
+        return _run_cached(
+            cells,
+            get=get,
+            put=put,
+            task=partial(_execute_cell, scenario),
+            label=lambda cell: cell,
+            jobs=jobs,
+            reporter=_make_reporter(progress, len(cells)),
+        )
+
+    reporter = _make_reporter(progress, len(cells))
+    results, pending = _partition_cached(cells, get, reporter)
+
+    def _record(unit: GridBatch, batch_results: list[RunResult]) -> None:
+        for cell, result in zip(unit.cells(), batch_results):
+            results[cell] = result
+            put(cell, result)
+        reporter.advance(unit, cells=len(batch_results))
+
+    batches = _split_for_jobs(batch_cells(pending), jobs)
+    _dispatch(batches, partial(_execute_batch, scenario), _record, jobs)
+    return results
 
 
 def discover_routes(
@@ -329,7 +501,12 @@ def discover_routes(
         get=(lambda protocol: store.get_routes(_key(protocol)))
         if store is not None
         else lambda protocol: None,
-        put=(lambda protocol, routes: store.put_routes(_key(protocol), routes))
+        put=(
+            lambda protocol, routes: store.put_routes(
+                _key(protocol), routes,
+                fingerprint=scenario_fingerprint(scenario),
+            )
+        )
         if store is not None
         else lambda protocol, routes: None,
         task=partial(
@@ -348,22 +525,27 @@ def run_sweep(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress: bool = False,
+    batch: bool = True,
     on_aggregate: Callable[[str, float, AggregateResult], None] | None = None,
 ) -> dict[tuple[str, float], AggregateResult]:
     """Full protocol x rate grid, aggregated over seeds with 95% CIs.
 
     The parallel, cached engine behind
     :func:`repro.experiments.runner.sweep`.  Runs every
-    ``(protocol, rate, seed)`` cell via :func:`run_grid`, then folds each
-    (protocol, rate) group over its seeds **in ascending-seed order**, so
-    aggregates match the serial path bit-for-bit.  ``on_aggregate`` fires
-    once per finished group (console reporting hooks).
+    ``(protocol, rate, seed)`` cell via :func:`run_grid` (batched into
+    per-(protocol, rate) seed groups unless ``batch=False``), then folds
+    each (protocol, rate) group over its seeds **in ascending-seed
+    order**, so aggregates match the serial path bit-for-bit.
+    ``on_aggregate`` fires once per finished group (console reporting
+    hooks).
     """
     protocols = tuple(protocols or scenario.protocols)
     rates = tuple(rates_kbps or scenario.rates_kbps)
     seeds = tuple(range(1, scenario.runs + 1))
     cells = grid_cells(scenario, protocols, rates, seeds)
-    results = run_grid(scenario, cells, jobs=jobs, store=store, progress=progress)
+    results = run_grid(
+        scenario, cells, jobs=jobs, store=store, progress=progress, batch=batch
+    )
     grid: dict[tuple[str, float], AggregateResult] = {}
     for protocol in protocols:
         for rate in rates:

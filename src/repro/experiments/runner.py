@@ -4,6 +4,10 @@ The runners turn a :class:`~repro.experiments.scenarios.Scenario` into the
 rows/series the paper's figures plot:
 
 * :func:`run_single` — one (protocol, rate, seed) simulation.
+* :func:`run_batch` — all seeds of one (protocol, rate) group in one call,
+  sharing placement + frozen channel geometry when the scenario's topology
+  is seed-invariant; the batched dispatch unit of
+  :mod:`repro.experiments.parallel`.
 * :func:`sweep` — full protocol x rate grid, aggregated over seeds with 95%
   confidence intervals; this regenerates Figs. 8, 9, 11, 12, 14 and Table 2.
 * :func:`frozen_route_goodput` — the §5.2.3 procedure for Figs. 13–16:
@@ -21,7 +25,7 @@ randomness from its own seed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.energy_model import FlowRoute, RouteEnergyEvaluator
 from repro.metrics.collectors import AggregateResult, RunResult, aggregate_runs
@@ -40,6 +44,63 @@ def run_single(
     return WirelessNetwork(config).run()
 
 
+def run_batch(
+    scenario: Scenario,
+    protocol: str,
+    rate_kbps: float,
+    seeds: Sequence[int],
+) -> list[RunResult]:
+    """Run all ``seeds`` of one ``(protocol, rate)`` group in one call.
+
+    The batched unit of work behind
+    :func:`repro.experiments.parallel.run_grid`: one worker invocation
+    covers a whole seed group, amortizing process startup and — when the
+    scenario's placement does not depend on the seed
+    (:attr:`Scenario.shares_placement`: grid presets, or any preset pinned
+    via :meth:`Scenario.with_fixed_placement`) — deriving the placement
+    and its frozen channel geometry **once** instead of once per seed.
+    Each seed still gets a completely fresh simulation (engine, PHYs,
+    routing state); only the immutable geometry is shared, so results are
+    bit-identical to per-seed :func:`run_single` calls.
+
+    Results are returned in ``seeds`` order.  A failing seed raises
+    :class:`~repro.experiments.parallel.GridCellError` naming the exact
+    ``(protocol, rate, seed)`` — also across process-pool boundaries;
+    earlier seeds of the batch are discarded with it.
+    """
+    from repro.experiments.parallel import GridCell, GridCellError
+    from repro.sim.channel import ChannelGeometry
+
+    seeds = tuple(seeds)
+    placement = geometry = None
+    if scenario.shares_placement and len(seeds) > 1:
+        try:
+            placement = scenario.placement(seeds[0])
+            geometry = ChannelGeometry.build(
+                placement.positions, scenario.card.max_range
+            )
+        except Exception as exc:
+            cell = GridCell(protocol, float(rate_kbps), int(seeds[0]))
+            raise GridCellError(
+                cell,
+                "shared batch setup failed: %s: %s"
+                % (type(exc).__name__, exc),
+            ) from exc
+    results = []
+    for seed in seeds:
+        try:
+            config = scenario.config(
+                protocol, rate_kbps, seed, placement=placement
+            )
+            results.append(WirelessNetwork(config, geometry=geometry).run())
+        except Exception as exc:
+            cell = GridCell(protocol, float(rate_kbps), int(seed))
+            raise GridCellError(
+                cell, "%s: %s" % (type(exc).__name__, exc)
+            ) from exc
+    return results
+
+
 def run_many(
     scenario: Scenario,
     protocol: str,
@@ -47,10 +108,13 @@ def run_many(
     jobs: int = 1,
     store: "ResultStore | None" = None,
     progress: bool = False,
+    batch: bool = True,
 ) -> AggregateResult:
     """Run ``scenario.runs`` seeds of one configuration and aggregate.
 
-    Seeds fan out across ``jobs`` processes and reuse ``store`` when given.
+    Seeds fan out across ``jobs`` processes and reuse ``store`` when given;
+    with ``batch`` (the default) the seed group dispatches as one
+    :class:`~repro.experiments.parallel.GridBatch` sharing setup work.
     A failing seed raises :class:`~repro.experiments.parallel.GridCellError`
     naming the offending ``(protocol, rate, seed)`` instead of an opaque
     mid-grid traceback.
@@ -58,7 +122,9 @@ def run_many(
     from repro.experiments.parallel import grid_cells, run_grid
 
     cells = grid_cells(scenario, (protocol,), (rate_kbps,))
-    results = run_grid(scenario, cells, jobs=jobs, store=store, progress=progress)
+    results = run_grid(
+        scenario, cells, jobs=jobs, store=store, progress=progress, batch=batch
+    )
     return aggregate_runs([results[cell] for cell in cells])
 
 
@@ -70,13 +136,16 @@ def sweep(
     jobs: int = 1,
     store: "ResultStore | None" = None,
     progress: bool = False,
+    batch: bool = True,
 ) -> dict[tuple[str, float], AggregateResult]:
     """Full protocol x rate grid for a scenario.
 
     Returns ``{(protocol, rate): AggregateResult}``; iterate rates in inner
     order to print one figure line per protocol.  ``jobs``/``store``/
-    ``progress`` are forwarded to
-    :func:`repro.experiments.parallel.run_sweep`, the orchestration engine.
+    ``progress``/``batch`` are forwarded to
+    :func:`repro.experiments.parallel.run_sweep`, the orchestration engine
+    (``batch`` groups each (protocol, rate)'s seeds into one dispatch
+    unit; results are bit-identical either way).
     ``verbose`` prints one stdout line per (protocol, rate) aggregate once
     the grid completes, and turns on per-cell stderr progress so a long
     sweep stays visibly alive while it runs.
@@ -96,6 +165,7 @@ def sweep(
         jobs=jobs,
         store=store,
         progress=progress or verbose,
+        batch=batch,
         on_aggregate=_report if verbose else None,
     )
 

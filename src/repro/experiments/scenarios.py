@@ -105,6 +105,13 @@ class Scenario:
     #: Flow arrival/departure schedule; None keeps the paper's
     #: "all flows start in [20 s, 25 s] and run forever" shape.
     flow_dynamics: FlowDynamicsSpec | None = None
+    #: When set, every run seed draws the *same* placement — the one this
+    #: fixed seed produces — so seeds vary only traffic/protocol randomness
+    #: (a fixed-topology study, like the paper's grid).  Such scenarios
+    #: share one channel-geometry pass across a whole seed batch (see
+    #: :func:`repro.experiments.runner.run_batch`).  None keeps the §5.2
+    #: behaviour: a fresh placement per seed.
+    placement_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.pattern not in FLOW_PATTERNS:
@@ -113,6 +120,17 @@ class Scenario:
                 % (self.pattern, ", ".join(sorted(FLOW_PATTERNS)))
             )
 
+    @property
+    def shares_placement(self) -> bool:
+        """True when every run seed sees the identical placement.
+
+        Grid scenarios ignore the seed by construction; ``placement_seed``
+        pins random placements explicitly.  Either way, the seeds of one
+        batch can share the placement object and its frozen channel
+        geometry (:func:`repro.experiments.runner.run_batch`).
+        """
+        return self.grid or self.placement_seed is not None
+
     def placement(self, seed: int) -> Placement:
         """Placement for a given seed (grid scenarios ignore the seed)."""
         if self.grid:
@@ -120,6 +138,8 @@ class Scenario:
             if side * side != self.node_count:
                 raise ValueError("grid scenario needs a square node count")
             return grid_placement(side, self.field_size, self.field_size)
+        if self.placement_seed is not None:
+            seed = self.placement_seed
         rng = random.Random("placement/%s/%d" % (self.name, seed))
         return uniform_random_placement(
             self.node_count,
@@ -129,31 +149,32 @@ class Scenario:
             require_connected_range=self.card.max_range,
         )
 
-    def flows(self, seed: int, rate_kbps: float) -> list[FlowSpec]:
+    def flows(
+        self,
+        seed: int,
+        rate_kbps: float,
+        placement: Placement | None = None,
+    ) -> list[FlowSpec]:
         """Flow list for one run: pattern-selected endpoints, traffic model
         attached, flow dynamics applied.
 
         The default configuration (random pattern / grid rows, CBR, no
         dynamics) reproduces the paper's workload draw-for-draw, which is
-        what keeps pre-subsystem pinned digests valid.
+        what keeps pre-subsystem pinned digests valid.  ``placement`` may
+        pass this seed's placement in to skip re-deriving it (the endpoint
+        pool is all that is read from it).
         """
         rng = random.Random("flows/%s/%d" % (self.name, seed))
-        if self.pattern != "random":
-            flows = FLOW_PATTERNS[self.pattern](
-                self.placement(seed).node_ids,
-                self.flow_count,
-                rate_kbps * 1000,
-                rng,
-                start_window=self.start_window,
-            )
-        elif self.grid:
+        if self.pattern == "random" and self.grid:
             side = int(round(self.node_count**0.5))
             flows = grid_flows(
                 side, rate_kbps * 1000, rng, start_window=self.start_window
             )
         else:
-            flows = FLOW_PATTERNS["random"](
-                self.placement(seed).node_ids,
+            if placement is None:
+                placement = self.placement(seed)
+            flows = FLOW_PATTERNS[self.pattern](
+                placement.node_ids,
                 self.flow_count,
                 rate_kbps * 1000,
                 rng,
@@ -170,13 +191,26 @@ class Scenario:
             )
         return flows
 
-    def config(self, protocol: str, rate_kbps: float, seed: int) -> NetworkConfig:
-        """Assemble the full NetworkConfig for one (protocol, rate, seed)."""
+    def config(
+        self,
+        protocol: str,
+        rate_kbps: float,
+        seed: int,
+        placement: Placement | None = None,
+    ) -> NetworkConfig:
+        """Assemble the full NetworkConfig for one (protocol, rate, seed).
+
+        ``placement`` may inject a pre-derived placement (it must be the
+        one :meth:`placement` returns for this seed) so batched runs of a
+        shared-placement scenario derive it once, not once per seed.
+        """
+        if placement is None:
+            placement = self.placement(seed)
         return NetworkConfig(
-            placement=self.placement(seed),
+            placement=placement,
             card=self.card,
             protocol=protocol,
-            flows=self.flows(seed, rate_kbps),
+            flows=self.flows(seed, rate_kbps, placement=placement),
             duration=self.duration,
             seed=seed,
             mobility=self.mobility,
@@ -217,6 +251,18 @@ class Scenario:
         return replace(
             self, flow_dynamics=spec if spec is not None else FlowDynamicsSpec()
         )
+
+    def with_fixed_placement(self, placement_seed: int = 1) -> "Scenario":
+        """Fixed-topology variant: every seed runs on one placement.
+
+        The placement is the one ``placement_seed`` draws; run seeds keep
+        varying flow endpoints and per-flow randomness.  Because the
+        topology is now seed-invariant, batched execution shares one
+        channel-geometry pass across all seeds of a group — the dense
+        scenarios' dominant setup cost.  Enters the result-store
+        fingerprint (a fixed-placement cell is a different experiment).
+        """
+        return replace(self, placement_seed=placement_seed)
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,13 @@ never corrupt an entry.  Two kinds of entries exist:
 * ``runs/`` — serialized :class:`RunResult` payloads, one per grid cell.
 * ``routes/`` — stabilized route sets from the §5.2.3 frozen-route probe
   simulations (the expensive half of Figs. 13–16).
+
+Each entry additionally records the sha256 of its own payload (so
+``repro cache verify`` can detect on-disk corruption without
+re-simulating) and, when the writer supplied one, the scenario
+fingerprint it belongs to (so ``repro cache ls`` can count entries per
+scenario).  Readers ignore both fields; entries written before they
+existed decode unchanged.
 """
 
 from __future__ import annotations
@@ -60,7 +67,7 @@ def scenario_fingerprint(scenario: "Scenario") -> dict:
     and excludes presentation-only attributes (``runs``, ``rates_kbps``,
     ``protocols``) so one cached cell serves every sweep that contains it.
     """
-    return {
+    fingerprint = {
         "version": CACHE_FORMAT_VERSION,
         "name": scenario.name,
         "node_count": scenario.node_count,
@@ -87,6 +94,11 @@ def scenario_fingerprint(scenario: "Scenario") -> dict:
         if scenario.flow_dynamics is not None
         else None,
     }
+    # A pinned placement changes every seed's topology, so it must key the
+    # cell; emitted only when set so pre-existing cache keys stay valid.
+    if scenario.placement_seed is not None:
+        fingerprint["placement_seed"] = scenario.placement_seed
+    return fingerprint
 
 
 def _digest(payload: Mapping) -> str:
@@ -203,9 +215,23 @@ class ResultStore:
             self._demote_hit()
             return None
 
-    def put_run(self, key: str, result: RunResult) -> None:
-        """Persist one completed run under ``key`` (atomic write)."""
-        self._write("runs", key, {"key": key, "result": result.to_payload()})
+    def put_run(
+        self,
+        key: str,
+        result: RunResult,
+        fingerprint: Mapping | None = None,
+    ) -> None:
+        """Persist one completed run under ``key`` (atomic write).
+
+        ``fingerprint`` optionally records the scenario fingerprint
+        (:func:`scenario_fingerprint`) for ``repro cache ls`` grouping;
+        the payload digest for ``repro cache verify`` is always recorded.
+        """
+        payload = result.to_payload()
+        entry = {"key": key, "result": payload, "digest": _digest(payload)}
+        if fingerprint is not None:
+            entry["scenario"] = dict(fingerprint)
+        self._write("runs", key, entry)
 
     def get_routes(self, key: str) -> dict[int, tuple[int, ...]] | None:
         """Return a cached stabilized-route set, or None.
@@ -225,23 +251,164 @@ class ResultStore:
             self._demote_hit()
             return None
 
-    def put_routes(self, key: str, routes: Mapping[int, tuple[int, ...]]) -> None:
+    def put_routes(
+        self,
+        key: str,
+        routes: Mapping[int, tuple[int, ...]],
+        fingerprint: Mapping | None = None,
+    ) -> None:
         """Persist one stabilized-route set under ``key`` (atomic write)."""
-        self._write(
-            "routes",
-            key,
-            {
-                "key": key,
-                "routes": {
-                    str(flow_id): list(path)
-                    for flow_id, path in sorted(routes.items())
-                },
-            },
-        )
+        payload = {
+            str(flow_id): list(path)
+            for flow_id, path in sorted(routes.items())
+        }
+        entry = {"key": key, "routes": payload, "digest": _digest(payload)}
+        if fingerprint is not None:
+            entry["scenario"] = dict(fingerprint)
+        self._write("routes", key, entry)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    KINDS = ("runs", "routes")
+
+    def keys(self, kind: str) -> list[str]:
+        """Sorted entry keys of one kind (``runs`` or ``routes``)."""
+        return sorted(
+            path.stem for path in (self.root / kind).glob("*/*.json")
+        )
+
+    def entries(self, kind: str):
+        """Yield ``(key, entry_dict | None)`` per stored entry, sorted.
+
+        ``None`` marks an unparseable file (still counted, so maintenance
+        commands surface corruption instead of skipping it).  Does not
+        touch the hit/miss counters — this is the maintenance path, not
+        the lookup path.
+        """
+        for path in sorted((self.root / kind).glob("*/*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    yield path.stem, json.load(handle)
+            except (OSError, ValueError):
+                yield path.stem, None
+
+    def summary(self) -> dict:
+        """Entry counts per kind and per recorded scenario fingerprint.
+
+        The engine behind ``repro cache ls``.  Returns, per kind, the
+        total entry count and a ``scenarios`` mapping keyed by the
+        fingerprint's own sha256 (first 12 hex chars) with ``name`` /
+        ``node_count`` / ``version`` / ``count`` fields.  Entries written
+        before fingerprints were recorded (or whose writer passed none)
+        group under the ``"(unrecorded)"`` key; unparseable files under
+        ``"(corrupt)"``.
+        """
+        report: dict = {}
+        for kind in self.KINDS:
+            scenarios: dict[str, dict] = {}
+            total = 0
+            for _key, entry in self.entries(kind):
+                total += 1
+                if entry is None:
+                    group = scenarios.setdefault(
+                        "(corrupt)", {"count": 0}
+                    )
+                elif not isinstance(entry.get("scenario"), dict):
+                    group = scenarios.setdefault(
+                        "(unrecorded)", {"count": 0}
+                    )
+                else:
+                    fingerprint = entry["scenario"]
+                    group = scenarios.setdefault(
+                        _digest(fingerprint)[:12],
+                        {
+                            "count": 0,
+                            "name": fingerprint.get("name"),
+                            "node_count": fingerprint.get("node_count"),
+                            "version": fingerprint.get("version"),
+                        },
+                    )
+                group["count"] += 1
+            report[kind] = {"total": total, "scenarios": scenarios}
+        return report
+
+    def verify_sample(self, sample: int = 16) -> dict:
+        """Integrity-check up to ``sample`` entries per kind.
+
+        The engine behind ``repro cache verify``: re-reads a
+        deterministic, evenly-spaced sample of stored entries and checks
+        that (a) the file parses, (b) the stored key matches the filename,
+        (c) the recorded payload digest matches a recomputation, and
+        (d) run payloads still decode to a :class:`RunResult`.  This
+        catches on-disk corruption and payload-shape rot — it does *not*
+        re-simulate, so it cannot catch a simulator whose behaviour
+        drifted (the pinned digests in ``tests/test_orchestration.py``
+        guard that).  Entries predating the digest field count as
+        ``legacy`` and get checks (a), (b) and (d) only.
+
+        Returns ``{"checked", "ok", "legacy", "failures": [(key, why)]}``.
+        """
+        if sample < 1:
+            raise ValueError(
+                "sample must be >= 1 (verifying zero entries would report "
+                "success over an arbitrarily corrupt store)"
+            )
+        checked = ok = legacy = 0
+        failures: list[tuple[str, str]] = []
+        for kind in self.KINDS:
+            keys = self.keys(kind)
+            if not keys:
+                continue
+            if len(keys) > sample:
+                # Deterministic, evenly spaced over the sorted key space —
+                # repeat invocations re-check the same entries.
+                step = (len(keys) - 1) / (sample - 1) if sample > 1 else 0
+                picked = sorted({keys[round(i * step)] for i in range(sample)})
+            else:
+                picked = keys
+            for key in picked:
+                try:
+                    with open(
+                        self._path(kind, key), "r", encoding="utf-8"
+                    ) as handle:
+                        entry = json.load(handle)
+                except (OSError, ValueError):
+                    entry = None
+                checked += 1
+                why = self._verify_entry(kind, key, entry)
+                if why is None:
+                    if entry is not None and "digest" not in entry:
+                        legacy += 1
+                    ok += 1
+                else:
+                    failures.append((key, "%s/%s: %s" % (kind, key[:12], why)))
+        return {
+            "checked": checked,
+            "ok": ok,
+            "legacy": legacy,
+            "failures": failures,
+        }
+
+    @staticmethod
+    def _verify_entry(kind: str, key: str, entry: dict | None) -> str | None:
+        """One entry's integrity verdict: None if sound, else the defect."""
+        if entry is None:
+            return "unparseable JSON"
+        if entry.get("key") != key:
+            return "stored key does not match filename"
+        payload = entry.get("result" if kind == "runs" else "routes")
+        if payload is None:
+            return "entry has no payload"
+        if "digest" in entry and _digest(payload) != entry["digest"]:
+            return "payload digest mismatch (corrupted on disk)"
+        if kind == "runs":
+            try:
+                RunResult.from_payload(payload)
+            except (KeyError, TypeError, ValueError) as exc:
+                return "payload no longer decodes: %s" % exc
+        return None
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*/*.json"))
 

@@ -13,6 +13,9 @@ Two audiences:
   to ``BENCH_kernel.json``.  CI runs ``python -m repro perf`` on every push
   and uploads that file as an artifact, so each PR records the throughput
   it inherited and the throughput it ships.
+  :func:`run_batch_benchmarks` does the same for the batched execution
+  layer (per-seed amortized setup cost, ``BENCH_batch.json`` via
+  ``python -m repro perf-batch``).
 
 Wall-clock numbers are machine-dependent; the JSON therefore records the
 interpreter and platform next to every figure.  Events-per-second is the
@@ -167,6 +170,145 @@ def _bench_fig8_cell(rate_kbps: float, seed: int) -> dict:
             scenario.duration / seconds if seconds else 0.0
         ),
     }
+
+
+def _bench_batch_setup(
+    node_counts: tuple[int, ...],
+    seeds: int,
+    duration: float,
+) -> dict:
+    """Per-seed amortized setup cost: batched vs per-cell, by node count.
+
+    For each node count, builds a fixed-placement dense scenario
+    (paper-density field, see :func:`_batch_scenario`) and times the
+    **setup** of ``seeds`` simulations twice: per-cell (every seed derives
+    its placement and freezes channel geometry from scratch — what
+    ``batch=False`` dispatch pays) and batched (placement + geometry
+    derived once via :func:`repro.experiments.runner.run_batch`'s shared
+    path, then one assembly per seed).  Setup means everything before
+    ``sim.run()``; it is the dominant non-simulation cost of the dense
+    scenarios, which is exactly what batching amortizes.
+    """
+    import time as _time
+
+    from repro.sim.channel import ChannelGeometry
+    from repro.sim.network import WirelessNetwork
+
+    protocol, rate_kbps = "DSR-ODPM", 4.0
+    results = {}
+    for node_count in node_counts:
+        scenario = _batch_scenario(node_count, duration)
+
+        # Warm imports/allocator so the first-timed path is not penalized.
+        WirelessNetwork(scenario.config(protocol, rate_kbps, 1))
+
+        def time_per_cell() -> float:
+            start = _time.perf_counter()
+            for seed in range(1, seeds + 1):
+                WirelessNetwork(scenario.config(protocol, rate_kbps, seed))
+            return _time.perf_counter() - start
+
+        def time_batched() -> float:
+            start = _time.perf_counter()
+            placement = scenario.placement(1)
+            geometry = ChannelGeometry.build(
+                placement.positions, scenario.card.max_range
+            )
+            for seed in range(1, seeds + 1):
+                WirelessNetwork(
+                    scenario.config(
+                        protocol, rate_kbps, seed, placement=placement
+                    ),
+                    geometry=geometry,
+                )
+            return _time.perf_counter() - start
+
+        # Best-of-3: construction cost is deterministic, so the minimum is
+        # the signal and the rest is scheduler noise (1-CPU CI runners).
+        per_cell = min(time_per_cell() for _ in range(3))
+        batched = min(time_batched() for _ in range(3))
+
+        results["nodes_%d" % node_count] = {
+            "node_count": node_count,
+            "seeds": seeds,
+            "per_cell_setup_seconds": per_cell,
+            "batched_setup_seconds": batched,
+            "per_seed_per_cell": per_cell / seeds,
+            "per_seed_batched": batched / seeds,
+            "amortized_setup_speedup": per_cell / batched if batched else 0.0,
+        }
+    return results
+
+
+def _batch_scenario(node_count: int, duration: float):
+    """A fixed-placement dense scenario at roughly the paper's density."""
+    from repro.experiments.scenarios import Scenario
+
+    # ~1300 m field at 300 nodes (the Table 2 density), scaled so every
+    # node count keeps the same nodes-per-km^2.
+    field = 1300.0 * (node_count / 300.0) ** 0.5
+    return Scenario(
+        name="bench-batch-%d" % node_count,
+        node_count=node_count,
+        field_size=field,
+        flow_count=10,
+        rates_kbps=(4.0,),
+        duration=duration,
+        runs=1,
+        protocols=("DSR-ODPM",),
+    ).with_fixed_placement(1)
+
+
+def run_batch_benchmarks(
+    node_counts: tuple[int, ...] = (100, 300, 400),
+    seeds: int = 8,
+    duration: float = 30.0,
+) -> dict:
+    """Batched-execution benchmark report (``BENCH_batch.json``).
+
+    Measures the per-seed amortized setup cost of batched vs per-cell
+    dispatch at several node counts (setup only — the simulation phase is
+    bit-identical by contract, so it cancels out of the comparison).  CI
+    runs ``python -m repro perf-batch`` per push and uploads the report
+    next to the kernel one; the committed ``BENCH_batch.json`` is the
+    dev-machine baseline quoted in ``docs/performance.md``.  The defaults
+    (8 seeds per batch, best-of-3) are the baseline's exact workload —
+    keep them when regenerating, or reports stop being comparable
+    (amortized speedup grows with batch size).
+    """
+    return {
+        "version": BENCH_FORMAT_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "benchmarks": {
+            "batch_setup": _bench_batch_setup(node_counts, seeds, duration),
+        },
+    }
+
+
+def format_batch_report(report: dict) -> str:
+    """Aligned per-node-count lines of a batch benchmark report."""
+    lines = [
+        "Batched execution setup cost (%s %s, %s)"
+        % (report["implementation"], report["python"], report["platform"])
+    ]
+    entries = report["benchmarks"]["batch_setup"]
+    for _name, entry in sorted(
+        entries.items(), key=lambda item: item[1]["node_count"]
+    ):
+        lines.append(
+            "  %4d nodes x %d seeds: per-cell %6.1f ms/seed, "
+            "batched %6.1f ms/seed  (%.1fx)"
+            % (
+                entry["node_count"],
+                entry["seeds"],
+                entry["per_seed_per_cell"] * 1e3,
+                entry["per_seed_batched"] * 1e3,
+                entry["amortized_setup_speedup"],
+            )
+        )
+    return "\n".join(lines)
 
 
 def run_kernel_benchmarks(

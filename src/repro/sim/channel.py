@@ -12,6 +12,12 @@ Positions are static by default, so all geometry is precomputed:
 builds one distance-sorted neighbor table per node, and
 :meth:`Channel.in_reach` resolves a transmission's receiver set with a
 single bisect over that table instead of re-checking distances per frame.
+The O(N^2) pair scan inside ``freeze`` is vectorized through numpy when it
+is importable (:class:`ChannelGeometry`), with a pure-python fallback that
+produces byte-identical tables; a prebuilt :class:`ChannelGeometry` can
+also be handed to the :class:`Channel` constructor so the seeds of one
+batched sweep group share a single geometry pass (see
+:func:`repro.experiments.runner.run_batch`).
 Receiver order is registration order — the same order the naive scan
 produced — because the order in which ``rx_end`` upcalls fire schedules MAC
 responses and therefore affects event sequence numbers; the determinism
@@ -46,6 +52,147 @@ from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.phy import Phy
+
+try:  # numpy accelerates the freeze-time pair scan; never required.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the baked toolchain ships numpy
+    _np = None
+
+#: Below this node count the python scan beats the numpy round trip.
+_VECTORIZE_MIN_NODES = 32
+
+#: Relative slack on the squared-distance candidate prefilter.  The numpy
+#: pass computes ``dx*dx + dy*dy`` (three rounded float ops) while the
+#: simulator's metric is ``math.hypot`` (correctly rounded); the two can
+#: disagree by a few ulp near the range boundary, so candidates are taken
+#: with this margin and every survivor is re-measured with ``math.hypot``
+#: before it may enter a table.  1e-9 relative is ~1e7 ulp — no true
+#: neighbor can be lost, and the handful of extra candidates are discarded
+#: by the exact check.
+_CANDIDATE_SLACK = 1e-9
+
+
+class ChannelGeometry:
+    """Precomputed all-pairs neighbor geometry, shareable across runs.
+
+    Holds exactly what :meth:`Channel.freeze` needs to build one
+    :class:`_NeighborTable` per node — the ``(distance, rank, neighbor)``
+    entries of every in-range pair, sorted by ``(distance, rank)``, plus
+    the same entries in rank (registration) order — keyed to a specific
+    node ordering and position set.  All distances are ``math.hypot``
+    values, so tables instantiated from a geometry are **bit-identical**
+    to tables computed from scratch; the numpy path below only changes how
+    candidate pairs are *found*, never how they are measured.
+
+    Instances are immutable (tuples throughout) and safe to share: every
+    ``freeze`` builds fresh mutable lists from them, so one simulation's
+    mobility patches can never leak into a sibling seed's tables.  Built
+    once per batch by :func:`repro.experiments.runner.run_batch` for
+    scenarios whose placement does not depend on the seed.
+
+    Per node the entries are stored as parallel tuples rather than tuples
+    of triples — ``dists``/``dist_ranks`` sorted by ``(distance, rank)``
+    and ``ranks``/``ids`` in rank order — so instantiating a table is a
+    handful of ``list()`` copies and positional PHY lookups per node.
+    """
+
+    __slots__ = (
+        "order", "positions", "max_range",
+        "dists", "dist_ranks", "ranks", "ids",
+    )
+
+    def __init__(
+        self,
+        order: tuple[int, ...],
+        positions: dict[int, tuple[float, float]],
+        max_range: float,
+        dists: dict[int, tuple[float, ...]],
+        dist_ranks: dict[int, tuple[int, ...]],
+        ranks: dict[int, tuple[int, ...]],
+        ids: dict[int, tuple[int, ...]],
+    ) -> None:
+        self.order = order
+        self.positions = positions
+        self.max_range = max_range
+        #: node -> neighbor distances sorted ascending (rank-tiebroken).
+        self.dists = dists
+        #: node -> neighbor ranks in the same (distance, rank) order.
+        self.dist_ranks = dist_ranks
+        #: node -> neighbor ranks ascending (registration order).
+        self.ranks = ranks
+        #: node -> neighbor ids, parallel to :attr:`ranks`.
+        self.ids = ids
+
+    @classmethod
+    def build(
+        cls,
+        positions: Mapping[int, tuple[float, float]],
+        max_range: float,
+    ) -> "ChannelGeometry":
+        """Compute the geometry of ``positions`` at ``max_range``.
+
+        Node ``rank`` is the iteration order of ``positions`` — the order
+        :class:`~repro.sim.network.WirelessNetwork` registers PHYs in, so
+        a geometry built from a placement drops straight into
+        :meth:`Channel.freeze`.
+        """
+        if max_range <= 0:
+            raise ValueError("max_range must be positive")
+        order = tuple(positions)
+        rank_of = {node_id: rank for rank, node_id in enumerate(order)}
+        candidates = _neighbor_candidates(positions, order, max_range)
+        dists: dict[int, tuple[float, ...]] = {}
+        dist_ranks: dict[int, tuple[int, ...]] = {}
+        ranks: dict[int, tuple[int, ...]] = {}
+        ids: dict[int, tuple[int, ...]] = {}
+        for node_id in order:
+            x1, y1 = positions[node_id]
+            entries = []
+            for other in candidates[node_id]:
+                x2, y2 = positions[other]
+                dist = math.hypot(x1 - x2, y1 - y2)
+                if dist <= max_range:
+                    entries.append((dist, rank_of[other], other))
+            entries.sort()  # (dist, rank) — rank is unique per entry
+            dists[node_id] = tuple(entry[0] for entry in entries)
+            dist_ranks[node_id] = tuple(entry[1] for entry in entries)
+            by_rank = sorted(entries, key=lambda entry: entry[1])
+            ranks[node_id] = tuple(entry[1] for entry in by_rank)
+            ids[node_id] = tuple(entry[2] for entry in by_rank)
+        return cls(
+            order, dict(positions), max_range, dists, dist_ranks, ranks, ids
+        )
+
+
+def _neighbor_candidates(
+    positions: Mapping[int, tuple[float, float]],
+    order: tuple[int, ...],
+    max_range: float,
+) -> dict[int, list[int]]:
+    """Per-node candidate neighbor lists (a superset of the in-range sets).
+
+    The vectorized path computes the all-pairs squared-distance matrix in
+    one numpy pass with :data:`_CANDIDATE_SLACK` margin; the caller then
+    re-measures every candidate with ``math.hypot``, which keeps the stored
+    distances bit-identical to the pure-python scan.  Without numpy (or for
+    small N, where the array round trip costs more than it saves) every
+    other node is a candidate — that *is* the pure-python scan.
+    """
+    if _np is None or len(order) < _VECTORIZE_MIN_NODES:
+        return {
+            node_id: [other for other in order if other != node_id]
+            for node_id in order
+        }
+    xy = _np.array([positions[node_id] for node_id in order])
+    deltas = xy[:, None, :] - xy[None, :, :]
+    squared = (deltas * deltas).sum(axis=2)
+    limit = (max_range * (1.0 + _CANDIDATE_SLACK)) ** 2
+    mask = squared <= limit
+    _np.fill_diagonal(mask, False)
+    return {
+        node_id: [order[j] for j in _np.nonzero(mask[i])[0]]
+        for i, node_id in enumerate(order)
+    }
 
 
 class _NeighborTable:
@@ -132,6 +279,13 @@ class Channel:
     max_range:
         Nominal transmission range in meters at maximum power; defines the
         static connectivity graph used for neighbor discovery.
+    geometry:
+        Optional prebuilt :class:`ChannelGeometry` for these positions;
+        :meth:`freeze` instantiates its tables from it instead of
+        recomputing the pair scan.  A geometry whose node order or
+        positions no longer match (extra registrations, pre-freeze moves)
+        is ignored and the scan runs normally, so a stale geometry can
+        cost time but never correctness.
     """
 
     def __init__(
@@ -139,12 +293,14 @@ class Channel:
         sim: Simulator,
         positions: Mapping[int, tuple[float, float]],
         max_range: float,
+        geometry: "ChannelGeometry | None" = None,
     ) -> None:
         if max_range <= 0:
             raise ValueError("max_range must be positive")
         self.sim = sim
         self.positions = dict(positions)
         self.max_range = max_range
+        self._geometry = geometry
         self._phys: dict[int, "Phy"] = {}
         self._tables: dict[int, _NeighborTable] = {}
         self._ranks: dict[int, int] = {}
@@ -192,14 +348,74 @@ class Channel:
         last :meth:`register`; call it explicitly after network assembly to
         front-load the O(N^2) geometry pass.  Registering another PHY
         un-freezes the channel and the next use re-freezes it.
+
+        The pair scan runs through :class:`ChannelGeometry` — vectorized
+        when numpy is importable, plain python otherwise, and skipped
+        entirely when a still-valid prebuilt geometry was handed to the
+        constructor.  All three paths produce bit-identical tables (the
+        pinned digests of ``tests/test_orchestration.py`` run over every
+        one of them).
         """
         self._ranks = {node_id: rank for rank, node_id in enumerate(self._phys)}
-        # Tables are keyed by position (not registration): the naive scan
-        # answered neighbor queries for any placed node, registered or not.
-        self._tables = {
-            node_id: self._build_table(node_id) for node_id in self.positions
-        }
+        geometry = self._geometry
+        if geometry is not None and not self._geometry_valid(geometry):
+            geometry = None
+        if geometry is None and tuple(self._phys) == tuple(self.positions):
+            # The standard fully-registered network: ranks equal position
+            # order, so the (possibly vectorized) geometry pass applies.
+            geometry = ChannelGeometry.build(self.positions, self.max_range)
+        if geometry is not None:
+            # Ranks equal registration indices here (checked above), so
+            # PHYs resolve positionally — no per-entry dict hashing.
+            phys_seq = list(self._phys.values())
+            self._tables = {
+                node_id: self._table_from_geometry(
+                    geometry, node_id, phys_seq
+                )
+                for node_id in self.positions
+            }
+        else:
+            # Partial registration (some placed nodes have no PHY): keep
+            # the naive scan, whose tables only list registered nodes.
+            # Tables are keyed by position (not registration): the naive
+            # scan answered neighbor queries for any placed node.
+            self._tables = {
+                node_id: self._build_table(node_id)
+                for node_id in self.positions
+            }
         self._frozen = True
+
+    def _geometry_valid(self, geometry: ChannelGeometry) -> bool:
+        """A prebuilt geometry must still describe this exact channel."""
+        return (
+            geometry.max_range == self.max_range
+            and geometry.order == tuple(self._phys)
+            and geometry.positions == self.positions
+        )
+
+    def _table_from_geometry(
+        self,
+        geometry: ChannelGeometry,
+        node_id: int,
+        phys_seq: list["Phy"],
+    ) -> _NeighborTable:
+        """Instantiate one node's table from precomputed geometry.
+
+        Builds fresh lists (the geometry's tuples are shared across runs;
+        mobility patches tables in place) and resolves neighbor ranks to
+        this channel's PHYs by position in registration order.
+        """
+        ranks = geometry.ranks[node_id]
+        return _NeighborTable(
+            dists=list(geometry.dists[node_id]),
+            by_dist=[
+                (rank, phys_seq[rank])
+                for rank in geometry.dist_ranks[node_id]
+            ],
+            full=[phys_seq[rank] for rank in ranks],
+            ids=list(geometry.ids[node_id]),
+            ranks=list(ranks),
+        )
 
     def _build_table(self, node_id: int) -> _NeighborTable:
         """Distance-sorted neighbor table of one node at current positions."""

@@ -44,6 +44,21 @@ CW_MAX = 1023
 #: Scheduling slack added to control-response timeouts.
 TIMEOUT_SLACK = 5e-6
 
+#: Control-response timeouts per radio card (RadioModel is frozen, hence
+#: hashable).  Fixed per card, so the 300 MACs of a dense network share one
+#: read-only mapping instead of each deriving its own at assembly time.
+_CONTROL_TIMES: dict = {}
+
+
+def _control_times_for(card) -> dict:
+    times = _CONTROL_TIMES.get(card)
+    if times is None:
+        times = _CONTROL_TIMES[card] = {
+            kind: FRAME_SIZES[kind] * 8 / card.bandwidth + TIMEOUT_SLACK
+            for kind in (PacketKind.CTS, PacketKind.ACK)
+        }
+    return times
+
 
 @dataclass(slots=True)
 class _Outgoing:
@@ -108,14 +123,12 @@ class Mac:
         self._attempt_pending: EventHandle | None = None
         self._response_queue: deque[tuple[Packet, float]] = deque()
         self._rng = sim.rng("mac-%d" % phy.node_id)
-        #: Response timeouts are fixed per card; precompute them once
-        #: instead of re-deriving ``FRAME_SIZES[kind] * 8 / bandwidth`` per
-        #: transmission.  (Kept as the ladder's exact expression so timeout
-        #: event times — and therefore runs — stay bit-identical.)
-        self._control_times = {
-            kind: FRAME_SIZES[kind] * 8 / phy.card.bandwidth + TIMEOUT_SLACK
-            for kind in (PacketKind.CTS, PacketKind.ACK)
-        }
+        #: Response timeouts are fixed per card; precomputed once per card
+        #: (shared read-only mapping) instead of re-deriving
+        #: ``FRAME_SIZES[kind] * 8 / bandwidth`` per transmission or per
+        #: node.  (Kept as the ladder's exact expression so timeout event
+        #: times — and therefore runs — stay bit-identical.)
+        self._control_times = _control_times_for(phy.card)
 
         phy.on_receive = self._on_phy_receive
         phy.on_tx_done = self._on_tx_done

@@ -34,7 +34,7 @@ from repro.routing import (
     Titan,
 )
 from repro.routing.proactive import ProactiveProtocol
-from repro.sim.channel import Channel
+from repro.sim.channel import Channel, ChannelGeometry
 from repro.sim.engine import Simulator
 from repro.sim.mobility import (
     ChurnSchedule,
@@ -184,9 +184,21 @@ class NetworkConfig:
 
 
 class WirelessNetwork:
-    """A fully-wired simulation ready to run."""
+    """A fully-wired simulation ready to run.
 
-    def __init__(self, config: NetworkConfig) -> None:
+    ``geometry`` optionally injects a prebuilt
+    :class:`~repro.sim.channel.ChannelGeometry` so the channel's freeze
+    skips its O(N^2) pair scan — the shared-setup path of
+    :func:`repro.experiments.runner.run_batch` for scenarios whose
+    placement does not depend on the seed.  Results are bit-identical with
+    or without it.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        geometry: "ChannelGeometry | None" = None,
+    ) -> None:
         self.config = config
         preset = PROTOCOLS[config.protocol]
         self.preset = preset
@@ -194,7 +206,10 @@ class WirelessNetwork:
         self.sim = Simulator(seed=config.seed)
         self.energy = NetworkEnergy()
         self.channel = Channel(
-            self.sim, config.placement.positions, config.card.max_range
+            self.sim,
+            config.placement.positions,
+            config.card.max_range,
+            geometry=geometry,
         )
         if preset.power_save:
             self.psm: PsmScheduler | NoPsm = PsmScheduler(
@@ -231,12 +246,18 @@ class WirelessNetwork:
         self.channel.freeze()
 
         # Neighbor power-mode oracles (PSM-beacon piggybacking stand-in).
+        # One getter per node, shared by every neighbor that registers it
+        # (the naive per-edge lambda was measurable at dense-scenario
+        # assembly time; the callables are behaviourally identical).
+        mode_getters = {
+            node_id: (lambda n=node: n.power.mode)
+            for node_id, node in self.nodes.items()
+        }
         for node_id, node in self.nodes.items():
-            for neighbor_id in self.channel.neighbors(node_id):
-                neighbor = self.nodes[neighbor_id]
-                node.register_neighbor_mode(
-                    neighbor_id, lambda n=neighbor: n.power.mode
-                )
+            node.register_neighbor_modes(
+                (neighbor_id, mode_getters[neighbor_id])
+                for neighbor_id in self.channel.neighbors(node_id)
+            )
 
         # Traffic: one model-driven source per flow (CBR flows carry no
         # spec and take the byte-identical legacy schedule).  Per-delivery

@@ -87,6 +87,14 @@ class Node:
         """Install the power-mode oracle for a neighbor (done by Network)."""
         self._neighbor_modes[neighbor] = mode
 
+    def register_neighbor_modes(self, modes) -> None:
+        """Bulk-install neighbor oracles from ``(neighbor, mode)`` pairs.
+
+        One dict update per node instead of one method call per edge —
+        dense-network assembly registers O(N x degree) oracles.
+        """
+        self._neighbor_modes.update(modes)
+
     def neighbor_mode(self, neighbor: int) -> PowerMode:
         """Power-management state of a neighbor.
 

@@ -241,6 +241,14 @@ class TestDeterminismContract:
         "e7f78a1e177bf4fa28276f333aedf61afe16c8e0c6c2ef3d84136795be3a86bc"
     )
 
+    #: sha256 of the tiny fixture's (DSR-ODPM, 2 Kbit/s, seed 1) payload —
+    #: the cell the four-way (serial == parallel == cached == batched)
+    #: contract below is pinned against.  Recorded on the batched-execution
+    #: PR; any dispatch-mode divergence breaks it.
+    TINY_CELL_DIGEST = (
+        "d038f4c678d5f4e86895ea42fa481e55b91603ff1abe311a95bff03765dfc914"
+    )
+
     @staticmethod
     def _digest(payload: dict) -> str:
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -252,6 +260,38 @@ class TestDeterminismContract:
         scenario = small_network(scale="smoke")
         result = run_single(scenario, "DSR-ODPM", 8.0, seed=1)
         assert self._digest(result.to_payload()) == self.FIG8_CELL_DIGEST
+
+    def test_fig8_cell_digest_pinned_under_batched_dispatch(self):
+        """The historical digest must also come out of the batch path."""
+        from repro.experiments.scenarios import small_network
+
+        scenario = small_network(scale="smoke")
+        cell = GridCell("DSR-ODPM", 8.0, 1)
+        results = run_grid(scenario, [cell], batch=True)
+        assert self._digest(results[cell].to_payload()) == self.FIG8_CELL_DIGEST
+
+    def test_four_way_contract_pinned(self, tiny, tmp_path):
+        """serial == parallel == cached == batched, bit for bit and pinned.
+
+        One grid, four execution modes; every mode must reproduce the
+        recorded digest for the pinned cell and identical payloads for
+        every other cell.
+        """
+        cells = grid_cells(tiny)
+        serial = run_grid(tiny, cells, jobs=1, batch=False)
+        parallel = run_grid(tiny, cells, jobs=2, batch=False)
+        batched = run_grid(tiny, cells, jobs=2, batch=True)
+        store = ResultStore(tmp_path)
+        run_grid(tiny, cells, jobs=1, batch=True, store=store)
+        cached = run_grid(tiny, cells, jobs=1, batch=True, store=store)
+        assert store.hits == len(cells)  # second pass was pure cache
+        for cell in cells:
+            reference = serial[cell].to_payload()
+            assert parallel[cell].to_payload() == reference
+            assert batched[cell].to_payload() == reference
+            assert cached[cell].to_payload() == reference
+        pinned = GridCell("DSR-ODPM", 2.0, 1)
+        assert self._digest(serial[pinned].to_payload()) == self.TINY_CELL_DIGEST
 
     def test_digest_survives_payload_roundtrip(self):
         from repro.metrics.collectors import RunResult
