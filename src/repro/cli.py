@@ -46,7 +46,10 @@ see :mod:`repro.traffic.models`) and ``--pattern`` re-selects endpoints
 Every command also accepts ``--profile`` (cProfile the command, print a
 top-25 hot-spot report to stderr; add ``--profile-dump PATH`` to keep the
 raw stats), and ``perf`` runs the kernel-throughput benchmarks that CI
-records as ``BENCH_kernel.json``.  See :mod:`repro.perf` and
+records as ``BENCH_kernel.json``.  ``perf-scale`` measures the node
+axis — spatial-hash freeze times vs the brute-force reference, per-move
+mobility-repair cost, and end-to-end ``large-grid-*`` cells — recorded
+as ``BENCH_scale.json``.  See :mod:`repro.perf` and
 ``docs/performance.md``.
 
 ``cli-doc`` regenerates ``docs/cli.md`` from this parser tree; a drift
@@ -72,6 +75,7 @@ from repro.experiments.scenarios import (
     convergecast_grid,
     density_network,
     grid_network,
+    large_grid,
     large_network,
     mobile_small,
     small_network,
@@ -93,6 +97,9 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "churn-grid": churn_grid,
     "bursty": bursty_small,
     "convergecast-grid": convergecast_grid,
+    "large-grid-1k": lambda scale: large_grid(1024, scale=scale),
+    "large-grid-2k": lambda scale: large_grid(2025, scale=scale),
+    "large-grid-5k": lambda scale: large_grid(5041, scale=scale),
 }
 
 
@@ -562,6 +569,24 @@ def _cmd_perf_batch(args: argparse.Namespace) -> None:
         print("report written to %s" % args.out)
 
 
+def _cmd_perf_scale(args: argparse.Namespace) -> None:
+    from repro.perf import (
+        format_scale_report,
+        run_scale_benchmarks,
+        write_benchmark_report,
+    )
+
+    report = run_scale_benchmarks(
+        node_counts=tuple(args.nodes),
+        moves=args.moves,
+        cell_nodes=tuple(args.cell_nodes),
+    )
+    print(format_scale_report(report))
+    if args.out:
+        write_benchmark_report(report, args.out)
+        print("report written to %s" % args.out)
+
+
 def _mobility_vmax(text: str) -> float:
     """argparse type for ``--mobility``: a positive speed in m/s."""
     value = float(text)
@@ -745,6 +770,23 @@ def build_parser() -> argparse.ArgumentParser:
     batch_perf.add_argument("--duration", type=float, default=30.0,
                             help="scenario duration in simulated seconds "
                                  "(setup cost does not depend on it)")
+
+    scale_perf = add("perf-scale", _cmd_perf_scale,
+                     "node-axis scaling benchmark (BENCH_scale.json)",
+                     scale=False)
+    scale_perf.add_argument("--out", default=None, metavar="PATH",
+                            help="write the JSON report to PATH")
+    scale_perf.add_argument("--nodes", nargs="+", type=int,
+                            default=[1000, 2000, 5000],
+                            help="node counts for the freeze and "
+                                 "mobility-repair sections")
+    scale_perf.add_argument("--moves", type=int, default=200,
+                            help="update_position calls per mobility-repair "
+                                 "measurement")
+    scale_perf.add_argument("--cell-nodes", nargs="+", type=int,
+                            default=[1024, 5041],
+                            help="large_grid smoke cells to run end to end "
+                                 "(must be perfect squares)")
 
     doc_parser = add("cli-doc", _cmd_cli_doc,
                      "regenerate docs/cli.md from this parser tree",

@@ -38,7 +38,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from repro.core.radio import CABLETRON, HYPOTHETICAL_CABLETRON, RadioModel
+from repro.core.radio import CABLETRON, HYPOTHETICAL_CABLETRON, MICA2, RadioModel
 from repro.net.topology import (
     Placement,
     grid_placement,
@@ -430,6 +430,62 @@ def convergecast_grid(scale: str = "bench") -> Scenario:
         pattern="convergecast",
     )
     return _apply_scale(scenario, scale, bench_duration=80.0, bench_runs=2)
+
+
+#: Node spacing of the :func:`large_grid` family, meters.  With the Mica2
+#: card's 68 m range, each node hears its 4 orthogonal neighbors (the
+#: 70.7 m diagonal is out of range) — constant degree, so event fan-out
+#: stays bounded as the node axis scales.
+LARGE_GRID_SPACING = 50.0
+
+
+def large_grid(node_count: int = 1024, scale: str = "bench") -> Scenario:
+    """Scale-axis preset family: a 1k–10k-node Mica2 sensor grid.
+
+    No paper figure — the paper stops at 400 nodes.  This family is the
+    workload behind the spatial-hash geometry work (``repro perf-scale``,
+    ``docs/performance.md``): ``node_count`` nodes on a square grid at
+    :data:`LARGE_GRID_SPACING`, the 68 m-range Mica2 card (degree 4;
+    the paper's 250 m cards would make every node hear ~80 others and
+    runtime would measure fan-out, not the node axis), and eight
+    disjoint-pair CBR flows at 2 Kbit/s whose endpoints the seed draws —
+    routes span O(side) hops, so DSR route discovery floods the full
+    field exactly as a real sparse multihop deployment would.
+
+    ``DSR-Active`` only: PSM beaconing is per-node-periodic, so at 5k
+    nodes beacons would dominate the event budget without exercising the
+    geometry under test.  Flows start early (5–10 s; there is no PSM
+    warm-up to wait out) and the scale knob maps to 120 s x 3 runs
+    (``paper``), 30 s x 1 (``bench``), 15 s x 1 (``smoke``).
+    """
+    side = int(round(node_count**0.5))
+    if side * side != node_count:
+        raise ValueError(
+            "large_grid needs a square node count, got %d" % node_count
+        )
+    if side < 4:
+        raise ValueError("large_grid below 16 nodes is not a scale scenario")
+    scenario = Scenario(
+        name="large-grid-%d" % node_count,
+        node_count=node_count,
+        field_size=LARGE_GRID_SPACING * (side - 1),
+        flow_count=8,
+        rates_kbps=(2.0,),
+        duration=120.0,
+        runs=3,
+        card=MICA2,
+        grid=True,
+        start_window=(5.0, 10.0),
+        protocols=("DSR-Active",),
+        pattern="pairs",
+    )
+    if scale == "paper":
+        return scenario
+    if scale == "bench":
+        return scenario.scaled(duration=30.0, runs=1)
+    if scale == "smoke":
+        return scenario.scaled(duration=15.0, runs=1)
+    raise ValueError("scale must be 'paper', 'bench' or 'smoke', got %r" % scale)
 
 
 #: High-rate sweep of Figs. 15–16, Kbit/s.

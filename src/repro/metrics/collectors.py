@@ -53,6 +53,12 @@ class RunResult:
     #: ``jitter`` …); ``None`` for pure-CBR runs so their payloads stay
     #: byte-identical to pre-traffic-subsystem builds.
     traffic: dict[str, float] | None = None
+    #: Anomalies the run completed *despite* (currently
+    #: ``stale_geometry``: prebuilt channel geometries rejected at freeze
+    #: time, see :attr:`repro.sim.channel.Channel.geometry_mismatches`).
+    #: ``None`` — the overwhelmingly common case — keeps payloads
+    #: byte-identical to pre-warning builds.
+    warnings: dict[str, float] | None = None
 
     @property
     def packets_sent(self) -> int:
@@ -121,6 +127,8 @@ class RunResult:
             payload["dynamics"] = dict(self.dynamics)
         if self.traffic is not None:
             payload["traffic"] = dict(self.traffic)
+        if self.warnings is not None:
+            payload["warnings"] = dict(self.warnings)
         return payload
 
     @staticmethod
@@ -190,6 +198,9 @@ class RunResult:
             traffic=dict(payload["traffic"])
             if payload.get("traffic") is not None
             else None,
+            warnings=dict(payload["warnings"])
+            if payload.get("warnings") is not None
+            else None,
         )
 
     @classmethod
@@ -205,6 +216,7 @@ class RunResult:
         events_processed: int = 0,
         dynamics: dict[str, float] | None = None,
         traffic: dict[str, float] | None = None,
+        warnings: dict[str, float] | None = None,
     ) -> "RunResult":
         return cls(
             protocol=protocol,
@@ -217,6 +229,7 @@ class RunResult:
             events_processed=events_processed,
             dynamics=dynamics,
             traffic=traffic,
+            warnings=warnings,
         )
 
 

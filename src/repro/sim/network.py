@@ -44,9 +44,17 @@ from repro.sim.mobility import (
 )
 from repro.sim.node import Node
 from repro.sim.psm import NoPsm, PsmScheduler
+from repro.metrics.stats import StreamingLatencies
 from repro.traffic.cbr import CbrSink, FlowStats, TrafficSource
 from repro.traffic.flows import FlowSpec
 from repro.traffic.models import TrafficSpec
+
+#: At and above this node count non-CBR runs aggregate latencies through
+#: a streaming estimator instead of per-delivery lists, keeping metric
+#: memory O(N) rather than O(packets).  A size gate, not a config field:
+#: scenario fingerprints and cache keys are unaffected, and every scale
+#: the pinned digests cover sits far below it.
+_STREAM_METRICS_MIN_NODES = 1000
 
 
 @dataclass(frozen=True)
@@ -267,6 +275,15 @@ class WirelessNetwork:
             spec.traffic is not None and not spec.traffic.is_cbr
             for spec in config.flows
         )
+        # Large non-CBR runs swap the per-delivery latency lists for a
+        # shared streaming estimator (O(1) state per network + per flow),
+        # so metric memory scales with nodes, not with packets delivered.
+        self._latency_stream: StreamingLatencies | None = None
+        if (
+            self._non_cbr_workload
+            and len(config.placement.node_ids) >= _STREAM_METRICS_MIN_NODES
+        ):
+            self._latency_stream = StreamingLatencies()
         self.flow_stats: list[FlowStats] = []
         sinks: dict[int, CbrSink] = {}
         for spec in config.flows:
@@ -277,7 +294,11 @@ class WirelessNetwork:
                 sinks[spec.destination] = CbrSink(
                     self.sim,
                     sink_node,
-                    record_latencies=self._non_cbr_workload,
+                    record_latencies=(
+                        self._non_cbr_workload
+                        and self._latency_stream is None
+                    ),
+                    stream=self._latency_stream,
                 )
             sinks[spec.destination].watch(stats)
             TrafficSource(
@@ -347,6 +368,7 @@ class WirelessNetwork:
             events_processed=self.sim.events_processed,
             dynamics=self._dynamics_summary(),
             traffic=self._traffic_summary(),
+            warnings=self._warnings_summary(),
         )
 
     def _dynamics_summary(self) -> dict[str, float] | None:
@@ -394,12 +416,27 @@ class WirelessNetwork:
 
         if not self._non_cbr_workload:
             return None
-        latencies = sorted(
-            latency
-            for stats in self.flow_stats
-            for latency in stats.latencies
-        )
-        jitters = [s.jitter for s in self.flow_stats if len(s.latencies) >= 2]
+        stream = self._latency_stream
+        if stream is not None:
+            # Large-run path: percentiles from the streaming histogram
+            # (bin-resolution estimates), jitter from the per-flow
+            # streaming accumulators.  Byte counters are exact either way.
+            p50 = stream.percentile(0.50)
+            p95 = stream.percentile(0.95)
+            p99 = stream.percentile(0.99)
+            jitters = [s.jitter for s in self.flow_stats if s.received >= 2]
+        else:
+            latencies = sorted(
+                latency
+                for stats in self.flow_stats
+                for latency in stats.latencies
+            )
+            p50 = percentile(latencies, 0.50)
+            p95 = percentile(latencies, 0.95)
+            p99 = percentile(latencies, 0.99)
+            jitters = [
+                s.jitter for s in self.flow_stats if len(s.latencies) >= 2
+            ]
         return {
             "offered_bytes": float(
                 sum(s.sent_bytes for s in self.flow_stats)
@@ -407,11 +444,41 @@ class WirelessNetwork:
             "received_bytes": float(
                 sum(s.received_bytes for s in self.flow_stats)
             ),
-            "latency_p50": percentile(latencies, 0.50),
-            "latency_p95": percentile(latencies, 0.95),
-            "latency_p99": percentile(latencies, 0.99),
+            "latency_p50": p50,
+            "latency_p95": p95,
+            "latency_p99": p99,
             "jitter": sum(jitters) / len(jitters) if jitters else 0.0,
         }
+
+    def _warnings_summary(self) -> dict[str, float] | None:
+        """Run anomalies, or None (the byte-identical common case).
+
+        Currently one key: ``stale_geometry`` — the number of prebuilt
+        geometries :meth:`Channel.freeze` rejected because they no longer
+        described the channel.  Such runs are *correct* (the pair scan
+        reran from live positions) but wasted the shared-geometry pass
+        they were promised, which used to be silent.
+        """
+        if self.channel.geometry_mismatches:
+            return {
+                "stale_geometry": float(self.channel.geometry_mismatches)
+            }
+        return None
+
+    def node_state_snapshot(self):
+        """Refresh and return the channel's columnar node state.
+
+        Bulk-captures every node's energy total and radio ``state_since``
+        into the shared :class:`~repro.sim.state.NodeStateArrays` — the
+        probe scale tooling (``repro perf-scale``) reads instead of
+        iterating python objects per node.
+        """
+        state = self.channel.state
+        state.capture(
+            ledgers=self.energy.nodes,
+            phys=(node.phy for node in self.nodes.values()),
+        )
+        return state
 
     # ------------------------------------------------------------------
     # Derived measures

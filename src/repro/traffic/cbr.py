@@ -16,12 +16,16 @@ workloads report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
 from repro.sim.packet import HEADER_OVERHEAD, Packet, make_data_packet
 from repro.traffic.flows import FlowSpec
 from repro.traffic.models import CbrModel, TrafficModel
+
+if TYPE_CHECKING:  # pragma: no cover - break the traffic <-> metrics cycle
+    from repro.metrics.stats import StreamingLatencies
 
 
 @dataclass
@@ -48,6 +52,15 @@ class FlowStats:
     sent_bytes: int = 0
     received_bytes: int = 0
     latencies: list[float] = field(default_factory=list)
+    #: Streaming jitter accumulation (large-run path, where per-delivery
+    #: lists are not kept): running sum of |consecutive latency deltas|,
+    #: the previous latency, and the delta count.  Fed by
+    #: :meth:`observe_latency`; :attr:`jitter` falls back to these when
+    #: ``latencies`` is empty, producing the identical sequential float
+    #: arithmetic the list formula performs.
+    jitter_total: float = 0.0
+    jitter_pairs: int = 0
+    last_latency: float | None = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -75,19 +88,36 @@ class FlowStats:
 
         return percentile(sorted(self.latencies), quantile)
 
+    def observe_latency(self, latency: float) -> None:
+        """Fold one delivery latency into the streaming jitter state.
+
+        Sinks call this on the large-run path instead of appending to
+        ``latencies``; deltas accumulate left-to-right exactly as the
+        list formula sums them, so both paths yield bit-equal jitter.
+        """
+        previous = self.last_latency
+        if previous is not None:
+            self.jitter_total += abs(latency - previous)
+            self.jitter_pairs += 1
+        self.last_latency = latency
+
     @property
     def jitter(self) -> float:
         """Mean absolute difference of consecutive delivery latencies.
 
         The RFC 3550-style smoothness measure, over deliveries in arrival
-        order; 0.0 with fewer than two deliveries.
+        order; 0.0 with fewer than two deliveries.  Computed from the
+        recorded list when one exists, else from the streaming
+        accumulators (:meth:`observe_latency`).
         """
-        if len(self.latencies) < 2:
-            return 0.0
-        total = sum(
-            abs(b - a) for a, b in zip(self.latencies, self.latencies[1:])
-        )
-        return total / (len(self.latencies) - 1)
+        if len(self.latencies) >= 2:
+            total = sum(
+                abs(b - a) for a, b in zip(self.latencies, self.latencies[1:])
+            )
+            return total / (len(self.latencies) - 1)
+        if self.jitter_pairs:
+            return self.jitter_total / self.jitter_pairs
+        return 0.0
 
 
 class TrafficSource:
@@ -166,15 +196,24 @@ class CbrSink:
     results carry no ``traffic`` block), so
     :class:`~repro.sim.network.WirelessNetwork` turns recording off for
     them — one list-append fewer on the delivery hot path and no
-    O(deliveries) memory growth at paper scale.
+    O(deliveries) memory growth at paper scale.  ``stream`` is the
+    large-run alternative: a shared
+    :class:`~repro.metrics.stats.StreamingLatencies` that absorbs every
+    latency into O(1) state (plus per-flow streaming jitter), used with
+    ``record_latencies`` off so memory stays O(N) however long the run.
     """
 
     def __init__(
-        self, sim: Simulator, node: Node, record_latencies: bool = True
+        self,
+        sim: Simulator,
+        node: Node,
+        record_latencies: bool = True,
+        stream: "StreamingLatencies | None" = None,
     ) -> None:
         self.sim = sim
         self.node = node
         self.record_latencies = record_latencies
+        self.stream = stream
         self._flows: dict[int, FlowStats] = {}
         self._seen: dict[int, set[int]] = {}
         previous = node.on_app_data
@@ -213,3 +252,6 @@ class CbrSink:
         stats.latency_sum += latency
         if self.record_latencies:
             stats.latencies.append(latency)
+        if self.stream is not None:
+            self.stream.add(latency)
+            stats.observe_latency(latency)

@@ -122,7 +122,13 @@ class TestChannelGeometry:
         assert shared.to_payload() == base.to_payload()
 
     def test_stale_geometry_is_ignored_not_trusted(self, tiny_grid):
-        """A geometry for other positions must not corrupt the run."""
+        """A geometry for other positions must not corrupt the run.
+
+        The simulation outcome must equal the unshared run bit for bit —
+        and since PR 6 the discarded geometry is *observable*, not
+        silent: the payload carries a ``warnings`` block counting the
+        mismatch (full coverage in ``tests/test_spatial_hash.py``).
+        """
         other = self._placement(9)
         stale = ChannelGeometry.build(
             other.positions, tiny_grid.card.max_range
@@ -131,7 +137,9 @@ class TestChannelGeometry:
         guarded = WirelessNetwork(
             tiny_grid.config("DSR-ODPM", 2.0, 1), geometry=stale
         ).run()
-        assert guarded.to_payload() == base.to_payload()
+        guarded_payload = guarded.to_payload()
+        assert guarded_payload.pop("warnings") == {"stale_geometry": 1.0}
+        assert guarded_payload == base.to_payload()
 
     def test_freeze_from_geometry_matches_fresh_tables(self, tiny_grid):
         fresh = WirelessNetwork(tiny_grid.config("DSR-ODPM", 2.0, 1))
@@ -469,3 +477,37 @@ class TestCacheMaintenance:
             cli_main(["cache", "verify", "--cache-dir", str(tmp_path)])
         assert excinfo.value.code == 1
         assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_cache_verify_names_bit_flipped_entry(
+        self, tiny_grid, tmp_path, capsys
+    ):
+        """A literal bit flip on disk exits 1 and names the bad key.
+
+        The other corruption tests mutate entries through the dict layer;
+        this one damages the stored bytes the way real bit rot does —
+        one flipped bit inside the serialized payload — and checks the
+        operator-facing contract: nonzero exit plus the offending key in
+        the output, so a corrupt entry can be located and deleted.
+        """
+        store = self._populated(tiny_grid, tmp_path)
+        key = store.keys("runs")[0]
+        path = store._path("runs", key)
+        raw = bytearray(path.read_bytes())
+        # Flip the low bit of the first digit inside the payload: the
+        # character stays a digit (the file still parses; the key still
+        # matches), but the number — and with it the payload digest —
+        # changes.  Flipping an arbitrary bit would more often produce
+        # an unparseable file, which is the *other*, easier failure.
+        start = raw.index(b'"result"')
+        offset = next(
+            i for i in range(start, len(raw)) if chr(raw[i]).isdigit()
+        )
+        raw[offset] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["cache", "verify", "--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "FAIL runs/%s" % key[:12] in out
+        assert "digest mismatch" in out
