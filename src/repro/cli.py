@@ -29,7 +29,20 @@ See :mod:`repro.experiments.parallel` and :mod:`repro.experiments.store`.
 
 ``cache ls`` and ``cache verify`` inspect a ``--cache-dir`` store without
 simulating: entry counts per scenario fingerprint, and an integrity check
-over a sample of stored entries.
+over a sample of stored entries (``verify --repair`` additionally
+quarantines every corrupt entry it finds so the next sweep re-simulates
+those cells).
+
+Every grid-backed command also takes the resilience flags ``--retries N``
+(retry transiently-failed cells — worker crashes, timeouts — with
+exponential backoff), ``--timeout S`` (wall-clock budget per cell) and
+``--continue-on-error`` (finish the healthy cells, then report the failed
+ones and exit 1 instead of aborting mid-grid).  ``sweep`` adds
+checkpointing on top: ``--manifest PATH`` records per-cell progress next
+to the cache dir, Ctrl-C drains in-flight cells and exits 130 with a
+resume hint, and ``--resume PATH`` picks the campaign back up, skipping
+everything already done.  See :mod:`repro.experiments.resilience` and
+``docs/robustness.md``.
 
 Every grid-backed command also accepts ``--mobility VMAX``
 (random-waypoint movement, speeds 1–VMAX m/s) and ``--churn N`` (N relay
@@ -66,6 +79,15 @@ from typing import Callable
 
 from repro.core.analytical import fig7_curves
 from repro.core.radio import CARD_REGISTRY
+from repro.experiments.resilience import (
+    INTERRUPT_EXIT_CODE,
+    FaultPolicy,
+    InterruptGuard,
+    ManifestMismatchError,
+    SweepFailureReport,
+    SweepInterrupted,
+    SweepManifest,
+)
 from repro.experiments.runner import frozen_route_goodput, sweep
 from repro.experiments.scenarios import (
     HIGH_RATES_KBPS,
@@ -81,7 +103,7 @@ from repro.experiments.scenarios import (
     small_network,
 )
 from repro.experiments.store import ResultStore
-from repro.metrics.plotting import AsciiPlot, figure_from_sweep
+from repro.metrics.plotting import AsciiPlot
 from repro.sim.mobility import MobilitySpec
 from repro.traffic.flows import FLOW_PATTERNS
 from repro.traffic.models import parse_traffic_spec
@@ -107,6 +129,40 @@ def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
     """Build the result store requested by ``--cache-dir``, if any."""
     cache_dir = getattr(args, "cache_dir", None)
     return ResultStore(cache_dir) if cache_dir else None
+
+
+def _policy_from_args(args: argparse.Namespace) -> FaultPolicy:
+    """The :class:`FaultPolicy` requested by the resilience flags."""
+    return FaultPolicy(
+        max_retries=getattr(args, "retries", 0) or 0,
+        cell_timeout_s=getattr(args, "timeout", None),
+        on_error=(
+            "continue"
+            if getattr(args, "continue_on_error", False)
+            else "fail"
+        ),
+    )
+
+
+def _resilience_from_args(
+    args: argparse.Namespace,
+) -> tuple[FaultPolicy, SweepFailureReport | None]:
+    """Policy plus the failure collector ``continue`` mode needs."""
+    policy = _policy_from_args(args)
+    failures = SweepFailureReport() if policy.continue_on_error else None
+    return policy, failures
+
+
+def _report_failures(failures: SweepFailureReport | None) -> None:
+    """Render a non-empty failure report to stderr and exit nonzero.
+
+    Called after a ``--continue-on-error`` command finished its healthy
+    cells: the artifact (figure/table/sweep rows) has already printed, so
+    the report and the exit code tell scripts the output is partial.
+    """
+    if failures:
+        print(failures.render(), file=sys.stderr, flush=True)
+        raise SystemExit(1)
 
 
 def _apply_dynamics(scenario: Scenario, args: argparse.Namespace) -> Scenario:
@@ -172,21 +228,25 @@ def _field_figure(args: argparse.Namespace, metric: str, title: str,
                   scenario_factory) -> None:
     scenario = _apply_dynamics(scenario_factory(scale=args.scale), args)
     rates = scenario.rates_kbps if args.scale == "paper" else (2.0, 4.0, 6.0)
+    policy, failures = _resilience_from_args(args)
     grid = sweep(scenario, rates_kbps=rates, jobs=args.jobs,
                  store=_store_from_args(args), progress=args.progress,
-                 batch=args.batch)
-    series = {}
+                 batch=args.batch, policy=policy, failures=failures)
+    plot = AsciiPlot(title=title, xlabel="Rate (Kbit/s)",
+                     ylabel=metric.replace("_", " "))
     for protocol in scenario.protocols:
-        values = [
-            getattr(grid[(protocol, rate)], metric).mean for rate in rates
+        # Under --continue-on-error a fully-failed (protocol, rate) group
+        # is absent from the grid; plot the points that survived.
+        points = [
+            (rate, getattr(grid[(protocol, rate)], metric).mean)
+            for rate in rates
+            if (protocol, rate) in grid
         ]
-        series[protocol] = values
-    print(
-        figure_from_sweep(
-            title, "Rate (Kbit/s)", metric.replace("_", " "),
-            list(rates), series,
-        )
-    )
+        if points:
+            plot.add_series(protocol, [p[0] for p in points],
+                            [p[1] for p in points])
+    print(plot.render())
+    _report_failures(failures)
 
 
 def _cmd_fig8(args):
@@ -214,6 +274,7 @@ def _cmd_fig10(args: argparse.Namespace) -> None:
     store = _store_from_args(args)
     rates = (2.0, 4.0, 6.0)
     protocols = ("TITAN-PC", "DSR-ODPM")
+    policy, failures = _resilience_from_args(args)
     plot = AsciiPlot(
         title="Fig. 10: transmit energy (J)",
         xlabel="Rate (Kbit/s)", ylabel="Transmit energy (J)",
@@ -225,17 +286,24 @@ def _cmd_fig10(args: argparse.Namespace) -> None:
         # protocol x rate x seed block, not one run_many at a time.
         grid = sweep(scenario, protocols=protocols, rates_kbps=rates,
                      jobs=args.jobs, store=store, progress=args.progress,
-                     batch=args.batch)
+                     batch=args.batch, policy=policy, failures=failures)
         for protocol in protocols:
-            values = [
-                grid[(protocol, rate)].transmit_energy.mean for rate in rates
+            points = [
+                (rate, grid[(protocol, rate)].transmit_energy.mean)
+                for rate in rates
+                if (protocol, rate) in grid
             ]
-            plot.add_series("%s (%s)" % (protocol, label), rates, values)
+            if points:
+                plot.add_series("%s (%s)" % (protocol, label),
+                                [p[0] for p in points],
+                                [p[1] for p in points])
     print(plot.render())
+    _report_failures(failures)
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
     store = _store_from_args(args)
+    policy, failures = _resilience_from_args(args)
     print("Table 2: performance with node density (4 Kbit/s per flow)")
     print("%-8s %-14s %-22s %-22s" % ("# nodes", "Protocol",
                                       "Delivery ratio", "Goodput (bit/J)"))
@@ -244,9 +312,12 @@ def _cmd_table2(args: argparse.Namespace) -> None:
             density_network(node_count, scale=args.scale), args
         )
         grid = sweep(scenario, rates_kbps=(4.0,), jobs=args.jobs,
-                     store=store, progress=args.progress, batch=args.batch)
+                     store=store, progress=args.progress, batch=args.batch,
+                     policy=policy, failures=failures)
         for protocol in scenario.protocols:
-            agg = grid[(protocol, 4.0)]
+            agg = grid.get((protocol, 4.0))
+            if agg is None:  # every seed failed under --continue-on-error
+                continue
             print(
                 "%-8d %-14s %6.3f ± %-12.3f %8.1f ± %-10.1f"
                 % (
@@ -255,6 +326,7 @@ def _cmd_table2(args: argparse.Namespace) -> None:
                     agg.energy_goodput.mean, agg.energy_goodput.half_width,
                 )
             )
+    _report_failures(failures)
 
 
 def _grid_figure(args: argparse.Namespace, rates, scheduling: str,
@@ -263,6 +335,7 @@ def _grid_figure(args: argparse.Namespace, rates, scheduling: str,
 
     scenario = _apply_dynamics(grid_network(scale=args.scale), args)
     store = _store_from_args(args)
+    policy, failures = _resilience_from_args(args)
     # The probe simulations are the expensive half; fan them out across
     # --jobs workers (and the route cache) before the analytic pass.
     # With --mobility/--churn the probe runs under the dynamic topology,
@@ -274,11 +347,13 @@ def _grid_figure(args: argparse.Namespace, rates, scheduling: str,
     # x-axis — not at a bursty model's mean offered load.
     routes_map = discover_routes(
         scenario, scenario.protocols, jobs=args.jobs, store=store,
-        progress=args.progress,
+        progress=args.progress, policy=policy, failures=failures,
     )
     plot = AsciiPlot(title=title, xlabel="Rate (Kbit/s)",
                      ylabel="Energy goodput (Kbit/J)")
     for protocol in scenario.protocols:
+        if protocol not in routes_map:
+            continue  # probe failed under --continue-on-error
         points = frozen_route_goodput(
             scenario, protocol, tuple(rates), scheduling, duration=100.0,
             routes=routes_map[protocol],
@@ -287,6 +362,7 @@ def _grid_figure(args: argparse.Namespace, rates, scheduling: str,
             protocol, rates, [p.energy_goodput / 1e3 for p in points]
         )
     print(plot.render())
+    _report_failures(failures)
 
 
 def _cmd_fig13(args):
@@ -363,20 +439,80 @@ def _cmd_lifetime(args: argparse.Namespace) -> None:
         print("  %8.0f s  %.2f" % (t, fraction))
 
 
+def _manifest_from_args(
+    args: argparse.Namespace, store: ResultStore | None
+) -> SweepManifest | None:
+    """The checkpoint manifest requested by ``--manifest``/``--resume``."""
+    import pathlib
+
+    path = getattr(args, "resume", None) or getattr(args, "manifest", None)
+    if not path:
+        return None
+    if store is None:
+        raise SystemExit(
+            "error: --manifest/--resume need --cache-dir (the manifest "
+            "tracks campaign state; the completed results themselves live "
+            "in the result store)"
+        )
+    if getattr(args, "resume", None) and not pathlib.Path(path).is_file():
+        raise SystemExit(
+            "error: no sweep manifest at %s (--resume expects a "
+            "checkpoint written by a previous --manifest run; use "
+            "--manifest to start a new campaign)" % path
+        )
+    try:
+        return SweepManifest.open(path)
+    except (ValueError, OSError) as exc:
+        raise SystemExit("error: %s" % exc)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> None:
     scenario = _apply_dynamics(SCENARIOS[args.scenario](scale=args.scale), args)
     protocols = tuple(args.protocols) if args.protocols else None
     rates = tuple(args.rates) if args.rates else None
     store = _store_from_args(args)
-    grid = sweep(
-        scenario,
-        protocols=protocols,
-        rates_kbps=rates,
-        jobs=args.jobs,
-        store=store,
-        progress=args.progress,
-        batch=args.batch,
-    )
+    policy, failures = _resilience_from_args(args)
+    manifest = _manifest_from_args(args, store)
+    guard = InterruptGuard()
+    try:
+        with guard:
+            grid = sweep(
+                scenario,
+                protocols=protocols,
+                rates_kbps=rates,
+                jobs=args.jobs,
+                store=store,
+                progress=args.progress,
+                batch=args.batch,
+                policy=policy,
+                manifest=manifest,
+                failures=failures,
+                interrupt=guard,
+            )
+    except ManifestMismatchError as exc:
+        raise SystemExit("error: %s" % exc)
+    except SweepInterrupted as exc:
+        done = exc.done if exc.done is not None else "?"
+        total = exc.total if exc.total is not None else "?"
+        print(
+            "sweep interrupted: %s/%s cells done%s"
+            % (
+                done,
+                total,
+                ", checkpoint flushed" if exc.manifest_path else "",
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
+        if exc.manifest_path:
+            print(
+                "resume with: repro sweep --scenario %s --cache-dir %s "
+                "--resume %s"
+                % (args.scenario, args.cache_dir, exc.manifest_path),
+                file=sys.stderr,
+                flush=True,
+            )
+        raise SystemExit(INTERRUPT_EXIT_CODE)
     print(
         "Sweep: %s  (%d protocols x %d rates x %d seeds, jobs=%d)"
         % (
@@ -407,6 +543,17 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
             "cache: %d hits, %d misses, %d new runs written (%s)"
             % (store.hits, store.misses, store.writes, store.root)
         )
+        if store.quarantined:
+            print(
+                "cache: %d corrupt entr%s quarantined and re-simulated"
+                % (
+                    store.quarantined,
+                    "y" if store.quarantined == 1 else "ies",
+                )
+            )
+    if manifest is not None:
+        print("manifest: %s (%s)" % (manifest.path, manifest.describe()))
+    _report_failures(failures)
 
 
 def _existing_store(cache_dir: str) -> ResultStore:
@@ -454,15 +601,24 @@ def _cmd_cache_ls(args: argparse.Namespace) -> None:
 
 
 def _cmd_cache_verify(args: argparse.Namespace) -> None:
-    """Integrity-check a sample of stored entries; exit 1 on corruption."""
+    """Integrity-check a sample of stored entries; exit 1 on corruption.
+
+    With ``--repair``, corrupt entries are quarantined
+    (``<key>.json.quarantine``) so the next sweep transparently
+    re-simulates those cells; the command then exits 0 if every failure
+    was successfully set aside.  Stale temp files from crashed writers
+    are always reaped.
+    """
     store = _existing_store(args.cache_dir)
-    report = store.verify_sample(sample=args.sample)
+    reaped = store.clean_tmp()
+    total = len(store)  # before repair quarantines anything
+    report = store.verify_sample(sample=args.sample, repair=args.repair)
     print(
         "Verified %d of %d entries in %s: %d ok (%d legacy, "
         "written before payload digests), %d failed"
         % (
             report["checked"],
-            len(store),
+            total,
             store.root,
             report["ok"],
             report["legacy"],
@@ -471,7 +627,18 @@ def _cmd_cache_verify(args: argparse.Namespace) -> None:
     )
     for _key, why in report["failures"]:
         print("  FAIL %s" % why)
-    if report["failures"]:
+    if reaped:
+        print("reaped %d stale temp file(s)" % reaped)
+    if args.repair and report["quarantined"]:
+        print(
+            "quarantined %d corrupt entr%s; the next sweep re-simulates "
+            "those cells"
+            % (
+                report["quarantined"],
+                "y" if report["quarantined"] == 1 else "ies",
+            )
+        )
+    if report["failures"] and report["quarantined"] < len(report["failures"]):
         raise SystemExit(1)
 
 
@@ -685,6 +852,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="endpoint selection pattern (default: the "
                             "scenario's pattern; grid presets keep their "
                             "row flows under 'random')")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retries per cell after a transient failure "
+                            "(worker crash, timeout) with exponential "
+                            "backoff; simulation errors are never retried")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="wall-clock budget per cell in seconds (a "
+                            "batch of k seeds gets k*S); over-budget "
+                            "workers are terminated and count as "
+                            "transient failures (default: no timeout)")
+        p.add_argument("--continue-on-error", action="store_true",
+                       help="finish the healthy cells when one fails "
+                            "permanently, then print a failure report "
+                            "and exit 1 (default: abort on first failure)")
         return p
 
     add("table1", _cmd_table1, "radio card parameters")
@@ -711,6 +891,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--rates", nargs="+", type=float, default=None,
                               help="rate subset in Kbit/s (default: the "
                                    "scenario's rate grid)")
+    sweep_parser.add_argument("--manifest", default=None, metavar="PATH",
+                              help="checkpoint campaign state to PATH "
+                                   "(created or resumed; needs "
+                                   "--cache-dir); an interrupted sweep "
+                                   "prints a --resume hint and exits 130")
+    sweep_parser.add_argument("--resume", default=None, metavar="PATH",
+                              help="resume the campaign checkpointed at "
+                                   "PATH, skipping completed cells (the "
+                                   "manifest must exist; needs "
+                                   "--cache-dir)")
 
     add("validate", _cmd_validate, "check every reproduced paper claim")
 
@@ -738,6 +928,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="entries to re-verify per kind "
                                    "(at least 1; deterministic, evenly "
                                    "spaced; default 16)")
+    cache_verify.add_argument("--repair", action="store_true",
+                              help="quarantine corrupt entries "
+                                   "(*.json.quarantine) so the next sweep "
+                                   "re-simulates them; exit 0 when every "
+                                   "failure was repaired")
 
     # No --scale: the benchmark workloads are fixed so reports stay
     # comparable across PRs (the fig8 cell is always the smoke preset).
@@ -810,18 +1005,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``KeyboardInterrupt`` exits :data:`INTERRUPT_EXIT_CODE` (130, the
+    shell's 128+SIGINT) with a one-line notice instead of a traceback —
+    ``sweep`` additionally drains in-flight cells and prints a resume
+    hint before getting here (see :class:`InterruptGuard`).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "profile", False) or getattr(args, "profile_dump", None):
-        from repro.perf import print_profile_report, profile_call
+    try:
+        if getattr(args, "profile", False) or getattr(
+            args, "profile_dump", None
+        ):
+            from repro.perf import print_profile_report, profile_call
 
-        _, report = profile_call(
-            lambda: args.func(args), dump_path=args.profile_dump
-        )
-        print_profile_report(report, dump_path=args.profile_dump)
-    else:
-        args.func(args)
+            _, report = profile_call(
+                lambda: args.func(args), dump_path=args.profile_dump
+            )
+            print_profile_report(report, dump_path=args.profile_dump)
+        else:
+            args.func(args)
+    except KeyboardInterrupt:
+        for stream in (sys.stdout, sys.stderr):
+            try:
+                stream.flush()
+            except (OSError, ValueError):  # pragma: no cover - closed pipe
+                pass
+        print("interrupted", file=sys.stderr, flush=True)
+        return INTERRUPT_EXIT_CODE
     return 0
 
 

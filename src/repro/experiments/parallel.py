@@ -20,17 +20,30 @@ the per-cell fan-out.
 Determinism is preserved by construction: each cell re-derives every random
 stream from its own seed (see :meth:`repro.sim.engine.Simulator.rng`), so a
 parallel sweep is **bit-identical** to a serial one — and a batched sweep
-to a per-cell one: serial == parallel == cached == batched is the
-four-way contract pinned by ``tests/test_orchestration.py``.  Aggregation
-always folds runs in ascending-seed order so even floating-point summation
-order matches the serial path.
+to a per-cell one.  With the resilience layer
+(:mod:`repro.experiments.resilience`) the contract is **five-way**:
+serial == parallel == cached == batched == interrupted-then-resumed,
+pinned by ``tests/test_orchestration.py`` and ``tests/test_resilience.py``
+— the last leg including runs with injected worker crashes and retries.
+Aggregation always folds runs in ascending-seed order so even
+floating-point summation order matches the serial path.
+
+Failure handling is policy-driven (:class:`~repro.experiments.resilience.
+FaultPolicy`): transient failures — a worker killed by the OOM reaper
+(``BrokenProcessPool``), a wedged cell past its timeout — are retried
+with exponential backoff and a rebuilt pool; deterministic simulation
+failures (:class:`GridCellError`) either abort the sweep naming the cell
+(``on_error="fail"``) or are collected into a
+:class:`~repro.experiments.resilience.SweepFailureReport` while sibling
+cells keep running (``on_error="continue"``).
 
 The public surface:
 
 * :class:`GridCell` — one point of the sweep grid.
 * :class:`GridBatch` — one dispatch unit: a (protocol, rate) group's seeds.
 * :func:`run_grid` — execute a set of cells (serial or parallel, cached,
-  batched or per-cell).
+  batched or per-cell), under a fault policy, optionally checkpointed
+  into a :class:`~repro.experiments.resilience.SweepManifest`.
 * :func:`run_sweep` — full protocol x rate grid, aggregated per cell group;
   the engine behind :func:`repro.experiments.runner.sweep` and the
   ``repro sweep`` CLI command.
@@ -41,7 +54,15 @@ from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import traceback as _traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Iterable, Sequence, TextIO, TypeVar
@@ -49,9 +70,22 @@ from typing import Callable, Iterable, Sequence, TextIO, TypeVar
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
+from repro.experiments.resilience import (
+    CellFailure,
+    FaultPolicy,
+    InterruptGuard,
+    SweepFailureReport,
+    SweepInterrupted,
+    SweepManifest,
+    _mark_worker,
+)
 from repro.experiments.scenarios import Scenario
 from repro.experiments.store import ResultStore, cell_key, scenario_fingerprint
 from repro.metrics.collectors import AggregateResult, RunResult, aggregate_runs
+
+#: Dispatcher poll period while futures are outstanding: how often the
+#: interrupt flag and the per-cell timeout watchdog are evaluated.
+_POLL_INTERVAL_S = 0.05
 
 
 @dataclass(frozen=True, order=True)
@@ -166,18 +200,50 @@ class GridCellError(RuntimeError):
     of *which* configuration died; this wrapper carries the
     ``(protocol, rate, seed)`` triple in both the message and the ``cell``
     attribute, and survives pickling across process boundaries.
+
+    Chained ``__cause__`` exceptions do **not** survive pickling (the
+    pool re-raises only the outer exception), so :meth:`from_exception`
+    captures the original traceback *text* into
+    :attr:`cause_traceback`, which :meth:`__reduce__` carries across the
+    boundary — failure reports can then name the real exception site
+    even when the failure happened in a worker process.
     """
 
-    def __init__(self, cell: GridCell, cause: str) -> None:
+    def __init__(
+        self,
+        cell: GridCell,
+        cause: str,
+        cause_traceback: str | None = None,
+    ) -> None:
         super().__init__(
             "simulation failed for protocol=%s rate=%g Kbit/s seed=%d: %s"
             % (cell.protocol, cell.rate_kbps, cell.seed, cause)
         )
         self.cell = cell
         self._cause = cause
+        self.cause_traceback = cause_traceback
+
+    @property
+    def cause_summary(self) -> str:
+        """The one-line cause (exception type and message)."""
+        return self._cause
+
+    @classmethod
+    def from_exception(
+        cls, cell: GridCell, exc: BaseException, prefix: str = ""
+    ) -> "GridCellError":
+        """Wrap ``exc`` for ``cell``, preserving its full traceback text."""
+        tb_text = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return cls(
+            cell,
+            "%s%s: %s" % (prefix, type(exc).__name__, exc),
+            cause_traceback=tb_text,
+        )
 
     def __reduce__(self):
-        return (type(self), (self.cell, self._cause))
+        return (type(self), (self.cell, self._cause, self.cause_traceback))
 
 
 def grid_cells(
@@ -210,7 +276,7 @@ def _execute_cell(scenario: Scenario, cell: GridCell) -> RunResult:
     try:
         return run_single(scenario, cell.protocol, cell.rate_kbps, cell.seed)
     except Exception as exc:
-        raise GridCellError(cell, "%s: %s" % (type(exc).__name__, exc)) from exc
+        raise GridCellError.from_exception(cell, exc) from exc
 
 
 def _execute_batch(scenario: Scenario, batch: GridBatch) -> list[RunResult]:
@@ -239,7 +305,285 @@ def _probe_routes(
         return routes
     except Exception as exc:
         cell = GridCell(protocol, probe_rate_kbps, seed)
-        raise GridCellError(cell, "%s: %s" % (type(exc).__name__, exc)) from exc
+        raise GridCellError.from_exception(cell, exc) from exc
+
+
+def _unit_size(item: object) -> int:
+    """Grid cells a dispatch unit covers (scales its timeout budget)."""
+    return len(item) if isinstance(item, GridBatch) else 1
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's worker processes (timeout enforcement).
+
+    ``ProcessPoolExecutor`` has no public "kill a stuck worker" API; a
+    worker wedged inside a simulation never observes a cooperative
+    cancel, so the only recovery is termination.  Reaches into
+    ``pool._processes`` (stable since 3.8) defensively — if the attribute
+    moves, timeouts degrade to "wait forever", never to a crash.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+
+
+class _Dispatcher:
+    """Fault-tolerant execution of dispatch units over a process pool.
+
+    One instance per :func:`_dispatch` call.  Responsibilities:
+
+    * fan units out across workers (or run serially for ``jobs<=1``);
+    * classify failures — :class:`GridCellError` is deterministic (never
+      retried), ``BrokenProcessPool``/timeout are transient (retried up
+      to ``policy.max_retries`` with deterministic backoff, under a
+      rebuilt pool);
+    * drain in-flight work and raise :class:`SweepInterrupted` when the
+      :class:`InterruptGuard` fires;
+    * in ``continue`` mode, route permanent failures to ``on_failure``
+      (per grid cell) and ask ``split`` for replacement units (a batch
+      minus its poisoned seed) instead of aborting siblings.
+    """
+
+    def __init__(
+        self,
+        task: Callable,
+        record: Callable,
+        jobs: int,
+        policy: FaultPolicy,
+        interrupt: InterruptGuard | None,
+        cells_of: Callable[[object], list] | None,
+        on_failure: Callable | None,
+        split: Callable | None,
+    ) -> None:
+        self.task = task
+        self.record = record
+        self.jobs = jobs
+        self.policy = policy
+        self.interrupt = interrupt
+        self.cells_of = cells_of or (lambda item: [item])
+        self.on_failure = on_failure or (lambda *args: None)
+        self.split = split
+
+    # -- shared failure handling ---------------------------------------
+    def _deterministic_failure(
+        self, item: object, error: GridCellError, attempts: int
+    ) -> list:
+        """Handle a simulation-raised failure; returns replacement units.
+
+        In ``fail`` mode the error propagates (pre-resilience
+        behaviour).  In ``continue`` mode the named cell is reported and
+        a batch sheds the poisoned seed so its siblings still run.
+        """
+        if not self.policy.continue_on_error:
+            raise error
+        self.on_failure(
+            CellFailure(
+                cell=error.cell,
+                cause=error.cause_summary,
+                attempts=attempts,
+                transient=False,
+                detail=error.cause_traceback,
+            )
+        )
+        return list(self.split(item, error)) if self.split is not None else []
+
+    def _transient_failure(self, item: object, cause: str, attempts: int) -> None:
+        """A unit exhausted its retry budget on crashes/timeouts."""
+        cells = self.cells_of(item)
+        if not self.policy.continue_on_error:
+            raise GridCellError(
+                cells[0], "%s (%d attempt(s))" % (cause, attempts)
+            )
+        for cell in cells:
+            self.on_failure(
+                CellFailure(
+                    cell=cell, cause=cause, attempts=attempts, transient=True
+                )
+            )
+
+    def _check_interrupt(self, remaining: int) -> None:
+        if self.interrupt is not None and self.interrupt.interrupted:
+            raise SweepInterrupted(remaining=remaining)
+
+    # -- serial path ----------------------------------------------------
+    def run_serial(self, pending: Sequence) -> None:
+        queue = list(pending)
+        index = 0
+        while index < len(queue):
+            self._check_interrupt(len(queue) - index)
+            item = queue[index]
+            index += 1
+            try:
+                result = self.task(item)
+            except GridCellError as exc:
+                queue.extend(self._deterministic_failure(item, exc, attempts=1))
+                continue
+            self.record(item, result)
+
+    # -- pooled path ----------------------------------------------------
+    def run_pooled(self, pending: Sequence) -> None:
+        queue = list(pending)
+        attempts = {item: 0 for item in queue}
+        while queue:
+            self._check_interrupt(len(queue))
+            self._backoff(queue, attempts)
+            queue = self._pool_round(queue, attempts)
+
+    def _backoff(self, queue: Sequence, attempts: dict) -> None:
+        """Sleep before a retry round (first round: all attempts 0 → no-op).
+
+        The delay is the maximum of the retried units' deterministic
+        backoff schedules; sleeping affects only wall-clock, never
+        results (jitter is derived from unit keys, not entropy).
+        """
+        delay = max(
+            (
+                self.policy.backoff_delay(attempts[item], str(item))
+                for item in queue
+                if attempts.get(item, 0) > 0
+            ),
+            default=0.0,
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    def _pool_round(self, queue: list, attempts: dict) -> list:
+        """One pool lifetime; returns the units still needing work.
+
+        The pool dies (and is rebuilt by the next round) whenever a
+        worker crashes or a timeout forces termination; units that
+        neither completed nor failed permanently are re-queued with an
+        incremented attempt count.  Everything in flight when a crash
+        hits is a casualty — the executor cannot attribute the death to
+        one unit — so all unfinished units share the attempt penalty.
+        """
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(queue)), initializer=_mark_worker
+        )
+        futures = {pool.submit(self.task, item): item for item in queue}
+        waiting = set(futures)
+        handled: set = set()  # recorded, permanently failed, or replaced
+        replacements: list = []
+        timed_out: set = set()
+        running_since: dict = {}
+        broken = False
+        interrupted = False
+        try:
+            while waiting:
+                done, waiting = wait(
+                    waiting, timeout=_POLL_INTERVAL_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    item = futures[future]
+                    try:
+                        result = future.result()
+                    except GridCellError as exc:
+                        for extra in self._deterministic_failure(
+                            item, exc, attempts.get(item, 0) + 1
+                        ):
+                            attempts.setdefault(extra, attempts.get(item, 0))
+                            replacements.append(extra)
+                        handled.add(item)
+                    except (BrokenProcessPool, CancelledError):
+                        broken = True
+                    else:
+                        self.record(item, result)
+                        handled.add(item)
+                if broken:
+                    break
+                if self.interrupt is not None and self.interrupt.interrupted:
+                    interrupted = True
+                    handled |= self._drain(futures, waiting, attempts)
+                    break
+                if self.policy.cell_timeout_s is not None and waiting:
+                    if self._past_deadline(
+                        futures, waiting, running_since, timed_out
+                    ):
+                        # The only way to reclaim a wedged worker is to
+                        # kill it; the pool breaks and the next loop
+                        # iteration observes BrokenProcessPool.
+                        _terminate_workers(pool)
+        except BrokenProcessPool:
+            broken = True
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if interrupted:
+            remaining = sum(
+                1 for item in futures.values() if item not in handled
+            )
+            raise SweepInterrupted(remaining=remaining)
+        next_queue = []
+        for item in futures.values():  # insertion order == queue order
+            if item in handled:
+                continue
+            attempts[item] = attempts.get(item, 0) + 1
+            if item in timed_out:
+                cause = "cell timed out after %.1f s" % (
+                    self.policy.cell_timeout_s * _unit_size(item)
+                )
+            else:
+                cause = "worker process crashed (BrokenProcessPool)"
+            if attempts[item] > self.policy.max_retries:
+                self._transient_failure(item, cause, attempts[item])
+            else:
+                next_queue.append(item)
+        return next_queue + replacements
+
+    def _drain(self, futures: dict, waiting: set, attempts: dict) -> set:
+        """Graceful interruption: cancel queued units, collect running ones.
+
+        Queued futures cancel cleanly and stay pending (the resume
+        re-dispatches them); already-running cells are allowed to finish
+        and are recorded/persisted so their work is not thrown away.
+        """
+        handled = set()
+        still_running = [f for f in waiting if not f.cancel()]
+        for future in still_running:
+            item = futures[future]
+            try:
+                result = future.result()
+            except GridCellError as exc:
+                if self.policy.continue_on_error:
+                    self._deterministic_failure(
+                        item, exc, attempts.get(item, 0) + 1
+                    )
+                    handled.add(item)
+                # fail mode: leave it pending; the resume will retry it.
+            except (BrokenProcessPool, CancelledError):
+                pass
+            else:
+                self.record(item, result)
+                handled.add(item)
+        return handled
+
+    def _past_deadline(
+        self, futures: dict, waiting: set, running_since: dict, timed_out: set
+    ) -> bool:
+        """Watchdog: note when futures start running, flag budget overruns.
+
+        ``running_since`` records the first poll at which each future was
+        observed running (queued-but-unstarted units never accrue time),
+        with poll-interval granularity.
+        """
+        now = time.monotonic()
+        for future in waiting:
+            if future.running():
+                running_since.setdefault(future, now)
+        hit = False
+        for future in waiting:
+            since = running_since.get(future)
+            if since is None:
+                continue
+            item = futures[future]
+            limit = self.policy.cell_timeout_s * _unit_size(item)
+            if now - since > limit:
+                timed_out.add(item)
+                hit = True
+        return hit
 
 
 def _dispatch(
@@ -247,28 +591,35 @@ def _dispatch(
     task: Callable[[_Item], _Result],
     record: Callable[[_Item, _Result], None],
     jobs: int,
+    policy: FaultPolicy | None = None,
+    interrupt: InterruptGuard | None = None,
+    cells_of: Callable[[_Item], list] | None = None,
+    on_failure: Callable[[CellFailure], None] | None = None,
+    split: Callable[[_Item, GridCellError], list] | None = None,
 ) -> None:
     """Run ``task`` over ``pending`` serially or via a process pool.
 
     ``task`` must be picklable (a top-level function or a
-    :func:`functools.partial` of one).  ``record`` is always invoked in the
-    parent process.  On any failure, queued work is cancelled so the error
-    surfaces promptly instead of after the rest of the batch.
+    :func:`functools.partial` of one).  ``record`` is always invoked in
+    the parent process.  Failure behaviour, retries and timeouts follow
+    ``policy`` (default: fail fast, no retries — the pre-resilience
+    contract); ``interrupt`` enables graceful SIGINT/SIGTERM draining.
+    See :class:`_Dispatcher` for the semantics.
     """
+    dispatcher = _Dispatcher(
+        task=task,
+        record=record,
+        jobs=jobs,
+        policy=policy if policy is not None else FaultPolicy(),
+        interrupt=interrupt,
+        cells_of=cells_of,
+        on_failure=on_failure,
+        split=split,
+    )
     if jobs <= 1 or len(pending) <= 1:
-        for item in pending:
-            record(item, task(item))
-        return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        futures = {pool.submit(task, item): item for item in pending}
-        try:
-            for future in as_completed(futures):
-                record(futures[future], future.result())
-        except BaseException:
-            # Surface the failing cell promptly: drop queued cells
-            # instead of letting the rest of the grid run first.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
+        dispatcher.run_serial(pending)
+    else:
+        dispatcher.run_pooled(pending)
 
 
 def _partition_cached(
@@ -297,6 +648,9 @@ def _run_cached(
     label: Callable[[_Item], GridCell],
     jobs: int,
     reporter: ProgressReporter,
+    policy: FaultPolicy | None = None,
+    interrupt: InterruptGuard | None = None,
+    on_failure: Callable[[CellFailure], None] | None = None,
 ) -> dict[_Item, _Result]:
     """Cached per-item fan-out (:func:`discover_routes`, unbatched grids).
 
@@ -311,7 +665,16 @@ def _run_cached(
         put(item, result)
         reporter.advance(label(item))
 
-    _dispatch(pending, task, _record, jobs)
+    _dispatch(
+        pending,
+        task,
+        _record,
+        jobs,
+        policy=policy,
+        interrupt=interrupt,
+        cells_of=lambda item: [label(item)],
+        on_failure=on_failure,
+    )
     return results
 
 
@@ -386,6 +749,23 @@ class ProgressReporter:
         )
 
 
+def _split_batch(unit: GridBatch, error: GridCellError) -> list[GridBatch]:
+    """Replacement units for a batch poisoned by one failing seed.
+
+    ``continue`` mode sheds the failed seed and re-dispatches the rest of
+    the batch as one new unit (seed order preserved), so one bad seed
+    costs its own cell, not its siblings'.
+    """
+    if not isinstance(unit, GridBatch):
+        return []
+    survivors = tuple(
+        seed for seed in unit.seeds if seed != error.cell.seed
+    )
+    if not survivors:
+        return []
+    return [GridBatch(unit.protocol, unit.rate_kbps, survivors)]
+
+
 def run_grid(
     scenario: Scenario,
     cells: Iterable[GridCell],
@@ -393,6 +773,10 @@ def run_grid(
     store: ResultStore | None = None,
     progress: bool | ProgressReporter = False,
     batch: bool = True,
+    policy: FaultPolicy | None = None,
+    manifest: SweepManifest | None = None,
+    failures: SweepFailureReport | None = None,
+    interrupt: InterruptGuard | None = None,
 ) -> dict[GridCell, RunResult]:
     """Execute ``cells``, fanning out across processes and reusing the store.
 
@@ -419,14 +803,34 @@ def run_grid(
         either way; only wall-clock and failure granularity change (a
         failing seed discards its batch's earlier, not-yet-persisted
         seeds).
+    policy:
+        :class:`~repro.experiments.resilience.FaultPolicy` governing
+        retries, timeouts and fail-vs-continue.  Default: fail fast.
+    manifest:
+        Optional :class:`~repro.experiments.resilience.SweepManifest`
+        checkpoint; cell completions/failures are recorded as they
+        happen so an interrupted campaign can resume.
+    failures:
+        :class:`~repro.experiments.resilience.SweepFailureReport`
+        collecting permanently-failed cells under
+        ``policy.on_error == "continue"``.  Such cells are simply absent
+        from the returned mapping.
+    interrupt:
+        Armed :class:`~repro.experiments.resilience.InterruptGuard`;
+        when it fires, in-flight cells are drained and persisted and
+        :class:`~repro.experiments.resilience.SweepInterrupted` is
+        raised with progress attached.
 
     Raises
     ------
     GridCellError
-        If any cell's simulation fails, naming the offending
-        ``(protocol, rate, seed)`` — under batching too.
+        If any cell's simulation fails (``on_error="fail"``), naming the
+        offending ``(protocol, rate, seed)`` — under batching too.
+    SweepInterrupted
+        When ``interrupt`` fired; the manifest (if any) is flushed first.
     """
     cells = list(cells)
+    policy = policy if policy is not None else FaultPolicy()
 
     def _key(cell: GridCell) -> str:
         return cell_key(scenario, cell.protocol, cell.rate_kbps, cell.seed)
@@ -437,6 +841,7 @@ def run_grid(
         else lambda cell: None
     )
     if store is not None:
+        store.clean_tmp()  # reap tmp droppings from crashed writers
         fingerprint = scenario_fingerprint(scenario)
 
         def put(cell: GridCell, result: RunResult) -> None:
@@ -447,29 +852,78 @@ def run_grid(
         def put(cell: GridCell, result: RunResult) -> None:
             return None
 
-    if not batch:
-        return _run_cached(
-            cells,
-            get=get,
-            put=put,
-            task=partial(_execute_cell, scenario),
-            label=lambda cell: cell,
-            jobs=jobs,
-            reporter=_make_reporter(progress, len(cells)),
-        )
+    if manifest is not None:
+        manifest.register(scenario, cells)
+
+    def _mark_done(cell: GridCell) -> None:
+        if manifest is not None:
+            manifest.mark_done(cell)
+
+    def _on_failure(failure: CellFailure) -> None:
+        if failures is not None:
+            failures.add(failure)
+        if manifest is not None:
+            manifest.mark_failed(
+                failure.cell, failure.cause, failure.attempts
+            )
 
     reporter = _make_reporter(progress, len(cells))
-    results, pending = _partition_cached(cells, get, reporter)
 
-    def _record(unit: GridBatch, batch_results: list[RunResult]) -> None:
-        for cell, result in zip(unit.cells(), batch_results):
-            results[cell] = result
-            put(cell, result)
-        reporter.advance(unit, cells=len(batch_results))
+    try:
+        if not batch:
+            results, pending = _partition_cached(cells, get, reporter)
+            if manifest is not None and results:
+                manifest.note_done(list(results))
 
-    batches = _split_for_jobs(batch_cells(pending), jobs)
-    _dispatch(batches, partial(_execute_batch, scenario), _record, jobs)
-    return results
+            def _record_cell(cell: GridCell, result: RunResult) -> None:
+                results[cell] = result
+                put(cell, result)
+                _mark_done(cell)
+                reporter.advance(cell)
+
+            _dispatch(
+                pending,
+                partial(_execute_cell, scenario),
+                _record_cell,
+                jobs,
+                policy=policy,
+                interrupt=interrupt,
+                cells_of=lambda cell: [cell],
+                on_failure=_on_failure,
+            )
+            return results
+
+        results, pending = _partition_cached(cells, get, reporter)
+        if manifest is not None and results:
+            manifest.note_done(list(results))
+
+        def _record(unit: GridBatch, batch_results: list[RunResult]) -> None:
+            for cell, result in zip(unit.cells(), batch_results):
+                results[cell] = result
+                put(cell, result)
+                _mark_done(cell)
+            reporter.advance(unit, cells=len(batch_results))
+
+        batches = _split_for_jobs(batch_cells(pending), jobs)
+        _dispatch(
+            batches,
+            partial(_execute_batch, scenario),
+            _record,
+            jobs,
+            policy=policy,
+            interrupt=interrupt,
+            cells_of=lambda unit: unit.cells(),
+            on_failure=_on_failure,
+            split=_split_batch,
+        )
+        return results
+    except SweepInterrupted as exc:
+        exc.done = reporter.done
+        exc.total = reporter.total
+        if manifest is not None:
+            exc.manifest_path = str(manifest.path)
+            manifest.flush()
+        raise
 
 
 def discover_routes(
@@ -480,6 +934,9 @@ def discover_routes(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress: bool | ProgressReporter = False,
+    policy: FaultPolicy | None = None,
+    interrupt: InterruptGuard | None = None,
+    failures: SweepFailureReport | None = None,
 ) -> dict[str, dict[int, tuple[int, ...]]]:
     """Stabilized route sets for several protocols, fanned out and cached.
 
@@ -487,7 +944,9 @@ def discover_routes(
     then frozen for the high-rate analytic evaluation) are the expensive
     half of Figs. 13–16 and are independent per protocol, so they
     parallelize and cache exactly like grid cells.  Returns
-    ``{protocol: {flow_id: path}}``.
+    ``{protocol: {flow_id: path}}``; under ``policy.on_error ==
+    "continue"`` a failed probe lands in ``failures`` and its protocol is
+    absent from the mapping.
     """
     from repro.experiments.store import routes_key
 
@@ -515,6 +974,9 @@ def discover_routes(
         label=lambda protocol: GridCell(protocol, probe_rate_kbps, seed),
         jobs=jobs,
         reporter=_make_reporter(progress, len(protocols)),
+        policy=policy,
+        interrupt=interrupt,
+        on_failure=(failures.add if failures is not None else None),
     )
 
 
@@ -527,6 +989,10 @@ def run_sweep(
     progress: bool = False,
     batch: bool = True,
     on_aggregate: Callable[[str, float, AggregateResult], None] | None = None,
+    policy: FaultPolicy | None = None,
+    manifest: SweepManifest | None = None,
+    failures: SweepFailureReport | None = None,
+    interrupt: InterruptGuard | None = None,
 ) -> dict[tuple[str, float], AggregateResult]:
     """Full protocol x rate grid, aggregated over seeds with 95% CIs.
 
@@ -538,20 +1004,39 @@ def run_sweep(
     order**, so aggregates match the serial path bit-for-bit.
     ``on_aggregate`` fires once per finished group (console reporting
     hooks).
+
+    Under ``policy.on_error == "continue"`` a group aggregates over its
+    surviving seeds only; a group with no surviving seed is absent from
+    the returned grid (its failures are in ``failures``).
     """
     protocols = tuple(protocols or scenario.protocols)
     rates = tuple(rates_kbps or scenario.rates_kbps)
     seeds = tuple(range(1, scenario.runs + 1))
     cells = grid_cells(scenario, protocols, rates, seeds)
     results = run_grid(
-        scenario, cells, jobs=jobs, store=store, progress=progress, batch=batch
+        scenario,
+        cells,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        batch=batch,
+        policy=policy,
+        manifest=manifest,
+        failures=failures,
+        interrupt=interrupt,
     )
     grid: dict[tuple[str, float], AggregateResult] = {}
     for protocol in protocols:
         for rate in rates:
             runs = [
-                results[GridCell(protocol, float(rate), seed)] for seed in seeds
+                results[cell]
+                for cell in (
+                    GridCell(protocol, float(rate), seed) for seed in seeds
+                )
+                if cell in results
             ]
+            if not runs:
+                continue  # every seed failed (continue mode): no aggregate
             aggregate = aggregate_runs(runs)
             grid[(protocol, float(rate))] = aggregate
             if on_aggregate is not None:

@@ -36,10 +36,18 @@ if TYPE_CHECKING:  # pragma: no cover - runner <-> parallel layering
     from repro.experiments.store import ResultStore
 
 
+def _fault_label(protocol: str, rate_kbps: float, seed: int) -> str:
+    """Label for deterministic fault injection (tests + CI smoke)."""
+    return "cell:%s@%g#%d" % (protocol, float(rate_kbps), int(seed))
+
+
 def run_single(
     scenario: Scenario, protocol: str, rate_kbps: float, seed: int
 ) -> RunResult:
     """Run one simulation and return its result."""
+    from repro.experiments.resilience import maybe_inject_fault
+
+    maybe_inject_fault(_fault_label(protocol, rate_kbps, seed))
     config = scenario.config(protocol, rate_kbps, seed)
     return WirelessNetwork(config).run()
 
@@ -69,6 +77,7 @@ def run_batch(
     earlier seeds of the batch are discarded with it.
     """
     from repro.experiments.parallel import GridCell, GridCellError
+    from repro.experiments.resilience import maybe_inject_fault
     from repro.sim.channel import ChannelGeometry
 
     seeds = tuple(seeds)
@@ -81,23 +90,20 @@ def run_batch(
             )
         except Exception as exc:
             cell = GridCell(protocol, float(rate_kbps), int(seeds[0]))
-            raise GridCellError(
-                cell,
-                "shared batch setup failed: %s: %s"
-                % (type(exc).__name__, exc),
+            raise GridCellError.from_exception(
+                cell, exc, prefix="shared batch setup failed: "
             ) from exc
     results = []
     for seed in seeds:
         try:
+            maybe_inject_fault(_fault_label(protocol, rate_kbps, seed))
             config = scenario.config(
                 protocol, rate_kbps, seed, placement=placement
             )
             results.append(WirelessNetwork(config, geometry=geometry).run())
         except Exception as exc:
             cell = GridCell(protocol, float(rate_kbps), int(seed))
-            raise GridCellError(
-                cell, "%s: %s" % (type(exc).__name__, exc)
-            ) from exc
+            raise GridCellError.from_exception(cell, exc) from exc
     return results
 
 
@@ -109,6 +115,7 @@ def run_many(
     store: "ResultStore | None" = None,
     progress: bool = False,
     batch: bool = True,
+    policy=None,
 ) -> AggregateResult:
     """Run ``scenario.runs`` seeds of one configuration and aggregate.
 
@@ -117,13 +124,21 @@ def run_many(
     :class:`~repro.experiments.parallel.GridBatch` sharing setup work.
     A failing seed raises :class:`~repro.experiments.parallel.GridCellError`
     naming the offending ``(protocol, rate, seed)`` instead of an opaque
-    mid-grid traceback.
+    mid-grid traceback; ``policy`` (a
+    :class:`~repro.experiments.resilience.FaultPolicy`) adds retries and
+    timeouts for transient worker failures.
     """
     from repro.experiments.parallel import grid_cells, run_grid
 
     cells = grid_cells(scenario, (protocol,), (rate_kbps,))
     results = run_grid(
-        scenario, cells, jobs=jobs, store=store, progress=progress, batch=batch
+        scenario,
+        cells,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        batch=batch,
+        policy=policy,
     )
     return aggregate_runs([results[cell] for cell in cells])
 
@@ -137,6 +152,10 @@ def sweep(
     store: "ResultStore | None" = None,
     progress: bool = False,
     batch: bool = True,
+    policy=None,
+    manifest=None,
+    failures=None,
+    interrupt=None,
 ) -> dict[tuple[str, float], AggregateResult]:
     """Full protocol x rate grid for a scenario.
 
@@ -145,7 +164,9 @@ def sweep(
     ``progress``/``batch`` are forwarded to
     :func:`repro.experiments.parallel.run_sweep`, the orchestration engine
     (``batch`` groups each (protocol, rate)'s seeds into one dispatch
-    unit; results are bit-identical either way).
+    unit; results are bit-identical either way), as are the resilience
+    hooks ``policy``/``manifest``/``failures``/``interrupt`` (see
+    :mod:`repro.experiments.resilience`).
     ``verbose`` prints one stdout line per (protocol, rate) aggregate once
     the grid completes, and turns on per-cell stderr progress so a long
     sweep stays visibly alive while it runs.
@@ -167,6 +188,10 @@ def sweep(
         progress=progress or verbose,
         batch=batch,
         on_aggregate=_report if verbose else None,
+        policy=policy,
+        manifest=manifest,
+        failures=failures,
+        interrupt=interrupt,
     )
 
 

@@ -30,8 +30,17 @@ Each entry additionally records the sha256 of its own payload (so
 ``repro cache verify`` can detect on-disk corruption without
 re-simulating) and, when the writer supplied one, the scenario
 fingerprint it belongs to (so ``repro cache ls`` can count entries per
-scenario).  Readers ignore both fields; entries written before they
-existed decode unchanged.
+scenario).  Entries written before these fields existed decode unchanged.
+
+The store is **self-healing**: every read re-verifies the recorded
+payload digest, and an entry that fails — bit rot, a torn write from a
+kill -9, a stray editor — is *quarantined* (renamed to
+``<key>.json.quarantine``, preserved for forensics) and reported as a
+miss, so the orchestrator transparently re-simulates the cell instead of
+propagating corrupt results into figures.  ``repro cache verify
+--repair`` applies the same treatment in bulk, and :meth:`ResultStore.
+clean_tmp` reaps temp files abandoned by writers that died between the
+write and the :func:`os.replace`.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
@@ -152,10 +162,16 @@ class ResultStore:
 
     Attributes
     ----------
-    hits / misses / writes:
+    hits / misses / writes / quarantined:
         Monotonic counters for this store instance (not persisted), used by
-        progress reporting and the cache-behaviour tests.
+        progress reporting and the cache-behaviour tests.  ``quarantined``
+        counts entries set aside by read-time verification or
+        ``verify --repair``.
     """
+
+    #: Temp files older than this are considered abandoned by a dead
+    #: writer (a live ``_write`` holds its temp file for milliseconds).
+    STALE_TMP_AGE_S = 3600.0
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
@@ -163,6 +179,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Generic JSON blobs
@@ -170,14 +187,53 @@ class ResultStore:
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / ("%s.json" % key)
 
+    def _quarantine(self, path: Path) -> bool:
+        """Set a corrupt entry aside as ``<name>.quarantine`` (kept on disk).
+
+        The rename makes the key a cache miss — the cell transparently
+        re-simulates and re-writes a sound entry — while preserving the
+        corrupt bytes for forensics.  A pre-existing quarantine file for
+        the same entry is overwritten (the newest corruption wins).
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantine"))
+        except OSError:  # pragma: no cover - raced with another healer
+            return False
+        self.quarantined += 1
+        return True
+
     def _read(self, kind: str, key: str) -> dict | None:
+        """Read one entry, verifying it; corrupt entries are quarantined.
+
+        Every read re-checks the recorded payload digest (sha256 of the
+        canonical payload JSON, stamped by ``_write``-era puts), so bit
+        rot or torn writes surface *here* — as a miss plus a
+        ``*.quarantine`` rename — rather than as corrupt data flowing
+        into figures.  Entries predating the digest field pass through
+        unverified (their shape is still checked by the typed getters).
+        """
         path = self._path(kind, key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
             return None
+        except ValueError:
+            # The file exists but is not JSON: torn write or bit rot.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if "digest" in payload:
+            body = payload.get("result" if kind == "runs" else "routes")
+            if body is None or _digest(body) != payload["digest"]:
+                self._quarantine(path)
+                self.misses += 1
+                return None
         self.hits += 1
         return payload
 
@@ -272,6 +328,33 @@ class ResultStore:
     # ------------------------------------------------------------------
     KINDS = ("runs", "routes")
 
+    def clean_tmp(self, older_than_s: float | None = None) -> int:
+        """Remove temp files abandoned by writers that died mid-write.
+
+        ``_write`` stages each entry as ``.<key>.<pid>.tmp`` before the
+        atomic :func:`os.replace`; a writer killed between the two leaves
+        the temp file behind forever (it is never rescanned or reused,
+        just directory litter that grows with every crash).  Sweep start
+        and ``repro cache verify`` call this.  Only files older than
+        ``older_than_s`` (default :data:`STALE_TMP_AGE_S`) are removed,
+        so a concurrent writer's in-flight temp file is never reaped.
+        Returns how many files were deleted.
+        """
+        cutoff = (
+            self.STALE_TMP_AGE_S if older_than_s is None else older_than_s
+        )
+        now = time.time()
+        removed = 0
+        for path in self.root.glob("*/*/.*.tmp"):
+            try:
+                age = now - path.stat().st_mtime
+                if age >= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - raced with the writer
+                continue
+        return removed
+
     def keys(self, kind: str) -> list[str]:
         """Sorted entry keys of one kind (``runs`` or ``routes``)."""
         return sorted(
@@ -333,7 +416,7 @@ class ResultStore:
             report[kind] = {"total": total, "scenarios": scenarios}
         return report
 
-    def verify_sample(self, sample: int = 16) -> dict:
+    def verify_sample(self, sample: int = 16, repair: bool = False) -> dict:
         """Integrity-check up to ``sample`` entries per kind.
 
         The engine behind ``repro cache verify``: re-reads a
@@ -347,14 +430,19 @@ class ResultStore:
         guard that).  Entries predating the digest field count as
         ``legacy`` and get checks (a), (b) and (d) only.
 
-        Returns ``{"checked", "ok", "legacy", "failures": [(key, why)]}``.
+        With ``repair``, every failing entry is quarantined
+        (``<key>.json.quarantine``) so the next sweep re-simulates it —
+        the bulk form of the read-time self-healing in ``_read``.
+
+        Returns ``{"checked", "ok", "legacy", "quarantined",
+        "failures": [(key, why)]}``.
         """
         if sample < 1:
             raise ValueError(
                 "sample must be >= 1 (verifying zero entries would report "
                 "success over an arbitrarily corrupt store)"
             )
-        checked = ok = legacy = 0
+        checked = ok = legacy = quarantined = 0
         failures: list[tuple[str, str]] = []
         for kind in self.KINDS:
             keys = self.keys(kind)
@@ -383,10 +471,13 @@ class ResultStore:
                     ok += 1
                 else:
                     failures.append((key, "%s/%s: %s" % (kind, key[:12], why)))
+                    if repair and self._quarantine(self._path(kind, key)):
+                        quarantined += 1
         return {
             "checked": checked,
             "ok": ok,
             "legacy": legacy,
+            "quarantined": quarantined,
             "failures": failures,
         }
 
