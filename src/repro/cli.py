@@ -51,10 +51,15 @@ variant — see :mod:`repro.sim.mobility` and ``docs/scenarios.md``.  The
 workload axis is just as pluggable: ``--traffic MODEL[:PARAM=V,...]``
 swaps every flow's generator (``cbr``, ``poisson``, ``onoff``, ``vbr`` —
 see :mod:`repro.traffic.models`) and ``--pattern`` re-selects endpoints
-(``random``, ``convergecast``, ``pairs``).  The ``sweep`` command's
+(``random``, ``convergecast``, ``pairs``).  So is the link axis:
+``--channel MODEL[:PARAM=V,...]`` swaps the propagation model (``disc``,
+``prob``, ``rssi-margin`` — see :mod:`repro.sim.channel_models`) and
+``--radio-tech NAME=FRACTION[,...]`` equips node fractions with
+heterogeneous radio tech profiles.  The ``sweep`` command's
 ``--scenario`` choices include the dynamic presets ``mobile`` /
-``churn-grid`` and the workload presets ``bursty`` /
-``convergecast-grid``; ``run`` and ``lifetime`` stay static CBR-only.
+``churn-grid``, the workload presets ``bursty`` / ``convergecast-grid``
+and the lossy-channel preset ``lossy``; ``run`` and ``lifetime`` stay
+static CBR-only.
 
 Every command also accepts ``--profile`` (cProfile the command, print a
 top-25 hot-spot report to stderr; add ``--profile-dump PATH`` to keep the
@@ -99,11 +104,16 @@ from repro.experiments.scenarios import (
     grid_network,
     large_grid,
     large_network,
+    lossy_small,
     mobile_small,
     small_network,
 )
 from repro.experiments.store import ResultStore
 from repro.metrics.plotting import AsciiPlot
+from repro.sim.channel_models import (
+    parse_channel_spec,
+    parse_tech_assignments,
+)
 from repro.sim.mobility import MobilitySpec
 from repro.traffic.flows import FLOW_PATTERNS
 from repro.traffic.models import parse_traffic_spec
@@ -118,6 +128,7 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "mobile": mobile_small,
     "churn-grid": churn_grid,
     "bursty": bursty_small,
+    "lossy": lossy_small,
     "convergecast-grid": convergecast_grid,
     "large-grid-1k": lambda scale: large_grid(1024, scale=scale),
     "large-grid-2k": lambda scale: large_grid(2025, scale=scale),
@@ -171,9 +182,11 @@ def _apply_dynamics(scenario: Scenario, args: argparse.Namespace) -> Scenario:
     ``--mobility VMAX`` attaches random-waypoint movement (1–VMAX m/s,
     10 s pauses, 1 s ticks); ``--churn N`` schedules N relay failures in
     the middle of the run; ``--traffic MODEL[:P=V,...]`` swaps every
-    flow's generator; ``--pattern`` re-selects endpoints.  All four change
-    the result-store cell key, so cached runs are never confused across
-    variants.
+    flow's generator; ``--pattern`` re-selects endpoints;
+    ``--channel MODEL[:P=V,...]`` swaps the propagation model and
+    ``--radio-tech NAME=FRACTION[,...]`` mixes radio technologies.  All
+    of them change the result-store cell key, so cached runs are never
+    confused across variants.
     """
     vmax = getattr(args, "mobility", None)
     if vmax:
@@ -192,6 +205,18 @@ def _apply_dynamics(scenario: Scenario, args: argparse.Namespace) -> Scenario:
     pattern = getattr(args, "pattern", None)
     if pattern is not None:
         scenario = scenario.with_pattern(pattern)
+    channel = getattr(args, "channel", None)
+    tech = getattr(args, "radio_tech", None)
+    if channel is not None or tech is not None:
+        spec = channel if channel is not None else scenario.channel
+        if tech is not None:
+            # replace() re-runs ChannelSpec validation; surface an unknown
+            # profile or bad fraction as a clean CLI error, not mid-sweep.
+            try:
+                spec = replace(spec, tech=tech)
+            except ValueError as exc:
+                raise SystemExit("error: --radio-tech: %s" % exc) from None
+        scenario = scenario.with_channel(spec)
     return scenario
 
 
@@ -573,7 +598,21 @@ def _existing_store(cache_dir: str) -> ResultStore:
 
 
 def _cmd_cache_ls(args: argparse.Namespace) -> None:
-    """Entry counts per scenario fingerprint for a result store."""
+    """Entry counts per scenario fingerprint for a result store.
+
+    A missing directory lists as an empty store (exit 0) — ``ls`` answers
+    "what is cached there?", and the honest answer for a store nobody has
+    written yet is *nothing*.  It still never creates the directory;
+    ``cache verify`` keeps rejecting missing stores, because an integrity
+    check over nothing would report misleading health.
+    """
+    import pathlib
+
+    if not pathlib.Path(args.cache_dir).is_dir():
+        print("Result store: %s  (0 entries)" % args.cache_dir)
+        for kind in ("runs", "routes"):
+            print("%-7s 0 entries" % kind)
+        return
     store = _existing_store(args.cache_dir)
     report = store.summary()
     total = sum(section["total"] for section in report.values())
@@ -792,6 +831,22 @@ def _traffic_spec(text: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _channel_spec(text: str):
+    """argparse type for ``--channel``: MODEL[:PARAM=V,...]."""
+    try:
+        return parse_channel_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _radio_tech(text: str):
+    """argparse type for ``--radio-tech``: NAME=FRACTION[,...]."""
+    try:
+        return parse_tech_assignments(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser with one subcommand per artifact."""
     parser = argparse.ArgumentParser(
@@ -852,6 +907,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="endpoint selection pattern (default: the "
                             "scenario's pattern; grid presets keep their "
                             "row flows under 'random')")
+        p.add_argument("--channel", type=_channel_spec, default=None,
+                       metavar="MODEL[:PARAM=V,...]",
+                       help="channel model: disc, "
+                            "prob[:loss=F,gamma=F,sigma=DB,exponent=N] or "
+                            "rssi-margin[:margin=DB,exponent=N] "
+                            "(default: the scenario's model)")
+        p.add_argument("--radio-tech", type=_radio_tech, default=None,
+                       metavar="NAME=FRACTION[,...]",
+                       help="equip node fractions with radio tech "
+                            "profiles (short, lowrate, sensor); the rest "
+                            "keep the scenario's card")
         p.add_argument("--retries", type=int, default=0, metavar="N",
                        help="retries per cell after a transient failure "
                             "(worker crash, timeout) with exponential "

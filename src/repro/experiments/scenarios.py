@@ -20,6 +20,8 @@ to the changing topologies the protocols were designed for — see
   mid-run (flow endpoints never fail).
 * :func:`bursty_small` — the small-network setup driven by exponential
   on/off sources (:mod:`repro.traffic.models`) instead of CBR.
+* :func:`lossy_small` — the small-network setup over a shadowed lossy
+  channel (:mod:`repro.sim.channel_models`) instead of the perfect disc.
 * :func:`convergecast_grid` — the 7x7 grid as a sensor field: Poisson
   sources, many-to-one convergecast toward a single sink.
 
@@ -44,6 +46,7 @@ from repro.net.topology import (
     grid_placement,
     uniform_random_placement,
 )
+from repro.sim.channel_models import ChannelSpec
 from repro.sim.mobility import ChurnSpec, MobilitySpec
 from repro.sim.network import NetworkConfig
 from repro.traffic.flows import FLOW_PATTERNS, FlowSpec, grid_flows
@@ -105,6 +108,11 @@ class Scenario:
     #: Flow arrival/departure schedule; None keeps the paper's
     #: "all flows start in [20 s, 25 s] and run forever" shape.
     flow_dynamics: FlowDynamicsSpec | None = None
+    #: Channel model + radio tech mix
+    #: (:mod:`repro.sim.channel_models`); the disc default is the paper's
+    #: perfect-link channel and keeps runs byte-identical to pre-registry
+    #: builds.
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
     #: When set, every run seed draws the *same* placement — the one this
     #: fixed seed produces — so seeds vary only traffic/protocol randomness
     #: (a fixed-topology study, like the paper's grid).  Such scenarios
@@ -216,6 +224,7 @@ class Scenario:
             mobility=self.mobility,
             churn=self.churn,
             traffic=self.traffic,
+            channel=self.channel,
         )
 
     def scaled(self, duration: float, runs: int) -> "Scenario":
@@ -243,6 +252,10 @@ class Scenario:
     def with_pattern(self, pattern: str) -> "Scenario":
         """Variant selecting endpoints with another pattern (e.g. pairs)."""
         return replace(self, pattern=pattern)
+
+    def with_channel(self, spec: ChannelSpec) -> "Scenario":
+        """Variant propagating frames under ``spec``'s channel model."""
+        return replace(self, channel=spec)
 
     def with_flow_dynamics(
         self, spec: FlowDynamicsSpec | None = None
@@ -403,6 +416,31 @@ def bursty_small(scale: str = "bench") -> Scenario:
         duration=900.0,
         runs=5,
         traffic=TrafficSpec("onoff", (("on", 2.0), ("off", 6.0))),
+    )
+    return _apply_scale(scenario, scale, bench_duration=90.0, bench_runs=2)
+
+
+def lossy_small(scale: str = "bench") -> Scenario:
+    """Small-network setup over a lossy shadowed channel (no paper figure).
+
+    Same field, card and workload as :func:`small_network`, but frames are
+    dropped with distance-dependent probability under log-normal shadowing
+    (``prob`` model, 20% edge loss, 3 dB shadowing): edge-of-range links
+    flap instead of working perfectly, so route quality and retransmission
+    energy finally differ between protocols that pick short robust hops
+    and protocols that stretch to the range limit.  The distinct ``name``
+    reseeds placement/flows, so this is a new scenario, not a perturbation
+    of the static one.
+    """
+    scenario = Scenario(
+        name="lossy-small",
+        node_count=50,
+        field_size=500.0,
+        flow_count=10,
+        rates_kbps=(2.0, 4.0, 6.0),
+        duration=900.0,
+        runs=5,
+        channel=ChannelSpec("prob", (("loss", 0.2), ("sigma", 3.0))),
     )
     return _apply_scale(scenario, scale, bench_duration=90.0, bench_runs=2)
 

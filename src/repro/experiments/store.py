@@ -108,6 +108,12 @@ def scenario_fingerprint(scenario: "Scenario") -> dict:
     # cell; emitted only when set so pre-existing cache keys stay valid.
     if scenario.placement_seed is not None:
         fingerprint["placement_seed"] = scenario.placement_seed
+    # The channel model changes reception outcomes exactly like geometry
+    # does, but the disc default predates the subsystem: emitted only when
+    # non-default so pre-existing cache keys (and CACHE_FORMAT_VERSION)
+    # stay valid.
+    if not scenario.channel.is_default:
+        fingerprint["channel"] = scenario.channel.fingerprint()
     return fingerprint
 
 

@@ -18,6 +18,12 @@ percentiles, jitter — aggregated by :func:`aggregate_traffic`.  Pure-CBR
 runs leave ``traffic`` as ``None`` (and their flow specs omit the traffic
 key entirely), so their payloads stay byte-identical to pre-subsystem
 builds.
+
+Lossy-channel runs (:mod:`repro.sim.channel_models`) carry a ``channel``
+mapping — receptions examined/vetoed by the channel model, the derived
+loss rate, re-equipped radio counts — aggregated by
+:func:`aggregate_channel`.  Default disc runs leave ``channel`` as ``None``
+for the same byte-identity reason.
 """
 
 from __future__ import annotations
@@ -53,6 +59,10 @@ class RunResult:
     #: ``jitter`` …); ``None`` for pure-CBR runs so their payloads stay
     #: byte-identical to pre-traffic-subsystem builds.
     traffic: dict[str, float] | None = None
+    #: Link-layer loss measurements (``model_checks``, ``model_drops``,
+    #: ``loss_rate``, ``tech_nodes`` …); ``None`` for default disc-channel
+    #: runs so their payloads stay byte-identical to pre-registry builds.
+    channel: dict[str, float] | None = None
     #: Anomalies the run completed *despite* (currently
     #: ``stale_geometry``: prebuilt channel geometries rejected at freeze
     #: time, see :attr:`repro.sim.channel.Channel.geometry_mismatches`).
@@ -127,6 +137,8 @@ class RunResult:
             payload["dynamics"] = dict(self.dynamics)
         if self.traffic is not None:
             payload["traffic"] = dict(self.traffic)
+        if self.channel is not None:
+            payload["channel"] = dict(self.channel)
         if self.warnings is not None:
             payload["warnings"] = dict(self.warnings)
         return payload
@@ -198,6 +210,9 @@ class RunResult:
             traffic=dict(payload["traffic"])
             if payload.get("traffic") is not None
             else None,
+            channel=dict(payload["channel"])
+            if payload.get("channel") is not None
+            else None,
             warnings=dict(payload["warnings"])
             if payload.get("warnings") is not None
             else None,
@@ -216,6 +231,7 @@ class RunResult:
         events_processed: int = 0,
         dynamics: dict[str, float] | None = None,
         traffic: dict[str, float] | None = None,
+        channel: dict[str, float] | None = None,
         warnings: dict[str, float] | None = None,
     ) -> "RunResult":
         return cls(
@@ -229,6 +245,7 @@ class RunResult:
             events_processed=events_processed,
             dynamics=dynamics,
             traffic=traffic,
+            channel=channel,
             warnings=warnings,
         )
 
@@ -299,5 +316,25 @@ def aggregate_traffic(
         if not result.traffic:
             continue
         for key, value in result.traffic.items():
+            keyed.setdefault(key, []).append(float(value))
+    return {key: mean_ci(values) for key, values in sorted(keyed.items())}
+
+
+def aggregate_channel(
+    results: Sequence[RunResult],
+) -> dict[str, ConfidenceInterval]:
+    """Mean ± 95% CI per channel metric across lossy-channel runs.
+
+    The link-layer counterpart of :func:`aggregate_traffic`: folds each
+    key (``model_checks``, ``model_drops``, ``loss_rate``,
+    ``tech_nodes`` …) over the runs that recorded it, in input order.
+    Default disc runs (``channel is None``) contribute nothing; an
+    all-disc input returns an empty mapping.
+    """
+    keyed: dict[str, list[float]] = {}
+    for result in results:
+        if not result.channel:
+            continue
+        for key, value in result.channel.items():
             keyed.setdefault(key, []).append(float(value))
     return {key: mean_ci(values) for key, values in sorted(keyed.items())}

@@ -60,6 +60,23 @@ from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 from repro.sim.state import NodeStateArrays
 
+# The channel-model registry lives in its own module (it needs no channel
+# internals) but is re-exported here: ``repro.sim.channel`` is the public
+# home of everything channel-shaped.
+from repro.sim.channel_models import (  # noqa: F401  (re-exports)
+    CHANNEL_MODELS,
+    ChannelModel,
+    ChannelSpec,
+    DiscChannelModel,
+    ProbChannelModel,
+    RssiMarginChannelModel,
+    TECH_PROFILES,
+    TechProfile,
+    parse_channel_spec,
+    parse_tech_assignments,
+    resolve_cards,
+)
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.phy import Phy
 
@@ -563,6 +580,14 @@ class Channel:
         produce bit-identical tables — the flag exists so the equivalence
         suite can exercise the indexed path at small N and the reference
         path at large N.
+    model:
+        Optional :class:`~repro.sim.channel_models.ChannelModel` deciding
+        per-reception admission among the in-reach candidates.  Geometry
+        is unaffected — the neighbor tables, oracles and carrier-sense
+        candidate sets are identical for every model — the model only
+        vetoes individual receptions inside :meth:`begin_transmission`.
+        ``None`` and *transparent* models (the disc) keep the historical
+        delivery loop, byte for byte.
     """
 
     def __init__(
@@ -572,6 +597,7 @@ class Channel:
         max_range: float,
         geometry: "ChannelGeometry | None" = None,
         spatial_index: bool | None = None,
+        model: "ChannelModel | None" = None,
     ) -> None:
         if max_range <= 0:
             raise ValueError("max_range must be positive")
@@ -590,6 +616,22 @@ class Channel:
         self.state = NodeStateArrays.from_positions(self.positions)
         self._spatial_override = spatial_index
         self._spatial: _SpatialIndex | None = None
+        #: The bound channel model (None for the implicit disc).  The
+        #: delivery loop consults :attr:`_filter` instead: transparent
+        #: models (the explicit disc) are structurally bypassed, so the
+        #: historical fast path — and its event sequence — is preserved.
+        self.model = model
+        self._filter = (
+            model
+            if model is not None and not getattr(model, "transparent", False)
+            else None
+        )
+        if model is not None:
+            model.bind(self)
+        #: Receptions vetoed / examined by the channel model (stay 0 on
+        #: the disc path); surfaced in ``RunResult.channel``.
+        self.model_drops = 0
+        self.model_checks = 0
         self.transmissions_started = 0
         #: Undirected neighbor links created or broken by position updates
         #: (mobility churn metric; stays 0 for static topologies).
@@ -912,9 +954,27 @@ class Channel:
         # Only radios that started tracking the frame get the end-of-frame
         # upcall; sleeping/transmitting radios miss it entirely, so a PSM
         # network does not pay per-frame bookkeeping for its sleepers.
-        receivers = [
-            phy for phy in self.in_reach(src, reach) if phy.rx_start(packet, src)
-        ]
+        model = self._filter
+        if model is None:
+            receivers = [
+                phy
+                for phy in self.in_reach(src, reach)
+                if phy.rx_start(packet, src)
+            ]
+        else:
+            # A vetoed reception is silent at the receiver — below the
+            # sensitivity floor, so it neither delivers nor holds carrier
+            # sense busy.  Candidate order stays registration order.
+            receivers = []
+            for phy in self.in_reach(src, reach):
+                self.model_checks += 1
+                if not model.delivers(
+                    src, phy.node_id, self.distance(src, phy.node_id), reach
+                ):
+                    self.model_drops += 1
+                    continue
+                if phy.rx_start(packet, src):
+                    receivers.append(phy)
         src_phy = self._phys[src]
 
         def _end() -> None:

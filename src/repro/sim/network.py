@@ -35,6 +35,7 @@ from repro.routing import (
 )
 from repro.routing.proactive import ProactiveProtocol
 from repro.sim.channel import Channel, ChannelGeometry
+from repro.sim.channel_models import ChannelSpec, resolve_cards
 from repro.sim.engine import Simulator
 from repro.sim.mobility import (
     ChurnSchedule,
@@ -167,6 +168,10 @@ class NetworkConfig:
     #: does not choose its own; the CBR default keeps the run on the
     #: byte-identical pre-subsystem path.
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    #: Channel model + radio tech mix; the disc default keeps the run on
+    #: the byte-identical pre-registry path (no ``RunResult.channel``
+    #: block, no fingerprint entry).
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -213,11 +218,20 @@ class WirelessNetwork:
 
         self.sim = Simulator(seed=config.seed)
         self.energy = NetworkEnergy()
+        # Every run builds its model through the registry — disc included —
+        # so the default path is exercised, not special-cased away; the
+        # channel structurally bypasses transparent models, which is what
+        # keeps pure-disc runs on the historical byte-identical loop.  The
+        # channel itself always works at the *base* card's range: tech
+        # profiles only shrink radios, so the base-range tables remain a
+        # valid candidate superset (and batched seed groups can keep
+        # sharing one geometry).
         self.channel = Channel(
             self.sim,
             config.placement.positions,
             config.card.max_range,
             geometry=geometry,
+            model=config.channel.build(),
         )
         if preset.power_save:
             self.psm: PsmScheduler | NoPsm = PsmScheduler(
@@ -230,14 +244,27 @@ class WirelessNetwork:
             self.psm = NoPsm(self.sim)
 
         power_factory = preset.power_factory()
+        # Radio heterogeneity: seed-independent per-node card resolution
+        # (None — every node on the base card — is the common fast path).
+        node_cards = resolve_cards(
+            config.channel, config.card, config.placement.node_ids
+        )
+        self._tech_nodes = (
+            sum(1 for card in node_cards.values() if card is not config.card)
+            if node_cards is not None
+            else 0
+        )
         self.nodes: dict[int, Node] = {}
         for node_id in config.placement.node_ids:
-            ledger = self.energy.add_node(node_id, config.card)
+            card = (
+                node_cards[node_id] if node_cards is not None else config.card
+            )
+            ledger = self.energy.add_node(node_id, card)
             node = Node(
                 sim=self.sim,
                 channel=self.channel,
                 node_id=node_id,
-                card=config.card,
+                card=card,
                 energy=ledger,
                 power_manager_factory=power_factory,
                 psm=self.psm,
@@ -368,8 +395,32 @@ class WirelessNetwork:
             events_processed=self.sim.events_processed,
             dynamics=self._dynamics_summary(),
             traffic=self._traffic_summary(),
+            channel=self._channel_summary(),
             warnings=self._warnings_summary(),
         )
+
+    def _channel_summary(self) -> dict[str, float] | None:
+        """Link-layer measurements, or None for the default disc channel.
+
+        Keys: ``model_checks`` / ``model_drops`` (receptions examined /
+        vetoed by the channel model) and the derived ``loss_rate``, plus
+        ``tech_nodes`` when a tech mix re-equipped any radios.  Default
+        (pure-disc, homogeneous) runs return None so their payloads stay
+        byte-identical to pre-registry builds.
+        """
+        if self.config.channel.is_default:
+            return None
+        checks = self.channel.model_checks
+        summary = {
+            "model_checks": float(checks),
+            "model_drops": float(self.channel.model_drops),
+            "loss_rate": (
+                self.channel.model_drops / checks if checks else 0.0
+            ),
+        }
+        if self._tech_nodes:
+            summary["tech_nodes"] = float(self._tech_nodes)
+        return summary
 
     def _dynamics_summary(self) -> dict[str, float] | None:
         """Dynamic-topology measurements, or None for a static run.

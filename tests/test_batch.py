@@ -458,11 +458,17 @@ class TestCacheMaintenance:
         self, tmp_path, capsys
     ):
         missing = tmp_path / "no-such-store"
-        for command in ("ls", "verify"):
-            with pytest.raises(SystemExit) as excinfo:
-                cli_main(["cache", command, "--cache-dir", str(missing)])
-            assert "no result store" in str(excinfo.value)
-            assert not missing.exists()  # inspection must not mkdir
+        # ls answers "what is cached there?" — for a store nobody has
+        # written, the honest answer is "nothing", not a traceback...
+        assert cli_main(["cache", "ls", "--cache-dir", str(missing)]) == 0
+        assert "(0 entries)" in capsys.readouterr().out
+        assert not missing.exists()  # inspection must not mkdir
+        # ...while verify keeps rejecting: an integrity check against an
+        # absent store passing vacuously would defeat its purpose.
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["cache", "verify", "--cache-dir", str(missing)])
+        assert "no result store" in str(excinfo.value)
+        assert not missing.exists()
 
     def test_cli_cache_verify_exits_nonzero_on_corruption(
         self, tiny_grid, tmp_path, capsys

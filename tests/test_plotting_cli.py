@@ -109,3 +109,60 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["figure-999"])
+
+
+class TestCacheLsCli:
+    """``cache ls`` answers "what is cached there?" — even for nothing."""
+
+    def test_missing_dir_reports_empty_and_exits_zero(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "ls", "--cache-dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "(0 entries)" in out
+        assert "runs" in out and "routes" in out
+        assert not missing.exists()  # inspection never creates the store
+
+    def test_empty_existing_dir_exits_zero(self, tmp_path, capsys):
+        empty = tmp_path / "store"
+        empty.mkdir()
+        assert main(["cache", "ls", "--cache-dir", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out
+
+    def test_verify_still_rejects_missing_dir(self, tmp_path):
+        missing = tmp_path / "never-created"
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["cache", "verify", "--cache-dir", str(missing)])
+
+
+class TestChannelCli:
+    def test_channel_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--channel", "prob:loss=0.2,sigma=3"]
+        )
+        assert args.channel.model == "prob"
+        assert dict(args.channel.params) == {"loss": 0.2, "sigma": 3.0}
+
+    def test_bad_channel_flag_rejected(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--channel", "prob:loss=2"])
+        assert "loss" in capsys.readouterr().err
+
+    def test_radio_tech_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "--radio-tech", "short=0.3"])
+        assert args.radio_tech == (("short", 0.3),)
+
+    def test_malformed_radio_tech_flag_rejected(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--radio-tech", "short"])
+        assert "NAME=FRACTION" in capsys.readouterr().err
+
+    def test_unknown_tech_profile_rejected_at_apply(self):
+        # Unknown names pass the parser (tokens are well-formed) and are
+        # rejected when the spec is built, before any simulation starts.
+        with pytest.raises(SystemExit, match="warp"):
+            main(["fig8", "--radio-tech", "warp=0.3"])
