@@ -31,7 +31,13 @@ See :mod:`repro.experiments.parallel` and :mod:`repro.experiments.store`.
 simulating: entry counts per scenario fingerprint, and an integrity check
 over a sample of stored entries (``verify --repair`` additionally
 quarantines every corrupt entry it finds so the next sweep re-simulates
-those cells).
+those cells).  Both take ``--json`` for machine-readable output (one JSON
+object per line).  ``cache merge SRC... DST`` folds shard stores into one
+campaign store with digest-verified conflict detection, and ``report``
+renders a store (+ optional manifest) into a standalone HTML campaign
+report — also available mid-pipeline as ``sweep --report PATH``.  Stores
+are backend-pluggable (``--cache-backend json|sqlite``, auto-detected on
+reuse); see :mod:`repro.experiments.backends` and :mod:`repro.report`.
 
 Every grid-backed command also takes the resilience flags ``--retries N``
 (retry transiently-failed cells — worker crashes, timeouts — with
@@ -137,9 +143,16 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
 
 
 def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
-    """Build the result store requested by ``--cache-dir``, if any."""
+    """Build the result store requested by ``--cache-dir``, if any.
+
+    ``--cache-backend`` selects the physical layout for a fresh store;
+    without it the backend is auto-detected from what the directory
+    already holds (sqlite if ``store.sqlite`` exists, else local JSON).
+    """
     cache_dir = getattr(args, "cache_dir", None)
-    return ResultStore(cache_dir) if cache_dir else None
+    if not cache_dir:
+        return None
+    return ResultStore(cache_dir, backend=getattr(args, "cache_backend", None))
 
 
 def _policy_from_args(args: argparse.Namespace) -> FaultPolicy:
@@ -578,6 +591,21 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
             )
     if manifest is not None:
         print("manifest: %s (%s)" % (manifest.path, manifest.describe()))
+    if getattr(args, "report", None):
+        if store is None:
+            raise SystemExit(
+                "error: --report needs --cache-dir (the report renders "
+                "the completed runs from the result store)"
+            )
+        from repro.report import build_campaign, render_html
+
+        campaign = build_campaign(store, manifest=manifest)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(render_html(campaign))
+        print(
+            "report: %s (%d runs, campaign digest %s)"
+            % (args.report, campaign.total_runs, campaign.campaign_digest[:12])
+        )
     _report_failures(failures)
 
 
@@ -605,21 +633,54 @@ def _cmd_cache_ls(args: argparse.Namespace) -> None:
     written yet is *nothing*.  It still never creates the directory;
     ``cache verify`` keeps rejecting missing stores, because an integrity
     check over nothing would report misleading health.
+
+    Quarantined entries are reported separately from the totals: a
+    quarantined entry is a pending re-simulation, not inventory, so
+    counting it into ``total`` would overstate what the store can serve.
+
+    With ``--json``, emits one JSON object per kind (one per line) —
+    ``{"kind", "total", "quarantined", "scenarios"}`` — for CI and other
+    tooling; the store identity line moves to stderr so stdout is pure
+    JSONL.
     """
+    import json as _json
     import pathlib
 
     if not pathlib.Path(args.cache_dir).is_dir():
+        if args.json:
+            for kind in ("runs", "routes"):
+                print(_json.dumps(
+                    {"kind": kind, "total": 0, "quarantined": 0,
+                     "scenarios": {}},
+                    sort_keys=True,
+                ))
+            return
         print("Result store: %s  (0 entries)" % args.cache_dir)
         for kind in ("runs", "routes"):
             print("%-7s 0 entries" % kind)
         return
     store = _existing_store(args.cache_dir)
     report = store.summary()
+    if args.json:
+        for kind in ("runs", "routes"):
+            section = report[kind]
+            print(_json.dumps(
+                {"kind": kind, "total": section["total"],
+                 "quarantined": section["quarantined"],
+                 "scenarios": section["scenarios"]},
+                sort_keys=True,
+            ))
+        return
     total = sum(section["total"] for section in report.values())
     print("Result store: %s  (%d entries)" % (store.root, total))
     for kind in ("runs", "routes"):
         section = report[kind]
-        print("%-7s %d entries" % (kind, section["total"]))
+        quarantined = ""
+        if section["quarantined"]:
+            quarantined = "  (+%d quarantined, pending re-simulation)" % (
+                section["quarantined"]
+            )
+        print("%-7s %d entries%s" % (kind, section["total"], quarantined))
         rows = sorted(
             section["scenarios"].items(),
             key=lambda item: (-item[1]["count"], item[0]),
@@ -647,11 +708,33 @@ def _cmd_cache_verify(args: argparse.Namespace) -> None:
     re-simulates those cells; the command then exits 0 if every failure
     was successfully set aside.  Stale temp files from crashed writers
     are always reaped.
+
+    With ``--json``, emits the verdict as a single JSON object on stdout
+    — ``{"checked", "ok", "legacy", "quarantined", "reaped", "total",
+    "failures": [[key, why], ...]}`` — with the exit-code contract
+    unchanged.
     """
+    import json as _json
+
     store = _existing_store(args.cache_dir)
     reaped = store.clean_tmp()
     total = len(store)  # before repair quarantines anything
     report = store.verify_sample(sample=args.sample, repair=args.repair)
+    if args.json:
+        print(_json.dumps(
+            {"checked": report["checked"], "ok": report["ok"],
+             "legacy": report["legacy"],
+             "quarantined": report["quarantined"], "reaped": reaped,
+             "total": total,
+             "failures": [list(item) for item in report["failures"]]},
+            sort_keys=True,
+        ))
+        if (
+            report["failures"]
+            and report["quarantined"] < len(report["failures"])
+        ):
+            raise SystemExit(1)
+        return
     print(
         "Verified %d of %d entries in %s: %d ok (%d legacy, "
         "written before payload digests), %d failed"
@@ -679,6 +762,81 @@ def _cmd_cache_verify(args: argparse.Namespace) -> None:
         )
     if report["failures"] and report["quarantined"] < len(report["failures"]):
         raise SystemExit(1)
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    """Render a completed campaign store into one standalone HTML file.
+
+    Inspection semantics like ``cache ls``/``verify``: the store must
+    already exist (a report over a typo'd ``--cache-dir`` would be an
+    empty document claiming an empty campaign) and is never created.
+    The output is deterministic for a fixed store — no timestamps, no
+    network references — so regenerating a report is a byte-level no-op
+    unless the store changed.
+    """
+    from repro.report import build_campaign, render_html
+
+    store = _existing_store(args.cache_dir)
+    manifest = None
+    if args.manifest:
+        try:
+            manifest = SweepManifest.load(args.manifest)
+        except (ValueError, OSError) as exc:
+            raise SystemExit("error: %s" % exc)
+    campaign = build_campaign(store, manifest=manifest)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render_html(campaign))
+    print(
+        "report: %s (%d runs in %d group(s), campaign digest %s)"
+        % (
+            args.out,
+            campaign.total_runs,
+            len(campaign.groups),
+            campaign.campaign_digest[:12],
+        )
+    )
+
+
+def _cmd_cache_merge(args: argparse.Namespace) -> None:
+    """Fold shard stores into one campaign store (digest-verified).
+
+    Sources must already exist (merging from a typo'd path would merge
+    nothing and claim success); the destination is created on demand and
+    may already hold earlier shards — merging is incremental and
+    idempotent.  Conflicting digests for the same key abort with exit 1
+    and name the key; ``--manifests`` additionally merges the shards'
+    sweep manifests into one campaign checkpoint next to the data.
+    """
+    import pathlib
+
+    from repro.experiments.backends import StoreMergeConflict, merge_stores
+
+    sources = []
+    for source_dir in args.sources:
+        if not pathlib.Path(source_dir).is_dir():
+            raise SystemExit(
+                "error: no result store at %s (cache merge never creates "
+                "source stores; check the paths)" % source_dir
+            )
+        sources.append(ResultStore(source_dir))
+    dest = ResultStore(args.dest, backend=args.backend)
+    try:
+        report = merge_stores(sources, dest)
+    except StoreMergeConflict as exc:
+        raise SystemExit("error: %s" % exc)
+    print("%s -> %s" % (report, dest.root))
+    if args.manifests:
+        # Default lands *next to* the store, not inside it: the dest dir
+        # stays pure entry data, byte-comparable to any other store.
+        merged_path = args.merged_manifest or (
+            args.dest.rstrip("/\\") + ".manifest.json"
+        )
+        try:
+            shards = [SweepManifest.load(path) for path in args.manifests]
+            merged = SweepManifest.merge(shards, merged_path)
+        except (ManifestMismatchError, ValueError, OSError) as exc:
+            raise SystemExit("error: %s" % exc)
+        print("manifest: %s (%s)" % (merged.path, merged.describe()))
 
 
 def _cmd_validate(args: argparse.Namespace) -> None:
@@ -879,6 +1037,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None,
                        help="persistent result store; completed runs are "
                             "reused instead of re-simulated")
+        p.add_argument("--cache-backend", choices=("json", "sqlite"),
+                       default=None,
+                       help="store layout: one JSON file per entry "
+                            "(default) or one sqlite file per campaign; "
+                            "without this flag the backend is "
+                            "auto-detected from the cache dir")
         p.add_argument("--progress", action="store_true",
                        help="progress/ETA on stderr, counted in cells")
         p.add_argument("--batch", dest="batch", action="store_true",
@@ -967,12 +1131,33 @@ def build_parser() -> argparse.ArgumentParser:
                                    "PATH, skipping completed cells (the "
                                    "manifest must exist; needs "
                                    "--cache-dir)")
+    sweep_parser.add_argument("--report", default=None, metavar="PATH",
+                              help="after the sweep, render the cached "
+                                   "campaign into a standalone HTML "
+                                   "report at PATH (needs --cache-dir)")
 
     add("validate", _cmd_validate, "check every reproduced paper claim")
 
+    # Campaign reporting: render a store into one self-contained HTML file.
+    report_parser = add(
+        "report", _cmd_report,
+        "render a campaign store into a standalone HTML report",
+        scale=False,
+    )
+    report_parser.add_argument("--cache-dir", required=True,
+                               help="result store directory to render "
+                                    "(must exist; never created)")
+    report_parser.add_argument("--manifest", default=None, metavar="PATH",
+                               help="sweep manifest to attach as campaign "
+                                    "provenance (cell states, scenario)")
+    report_parser.add_argument("-o", "--out", default="report.html",
+                               metavar="PATH",
+                               help="output HTML file (default: "
+                                    "report.html)")
+
     # Store maintenance: inspect a --cache-dir without simulating.
     cache_parser = sub.add_parser(
-        "cache", help="result-store maintenance (ls, verify)"
+        "cache", help="result-store maintenance (ls, verify, merge)"
     )
     cache_sub = cache_parser.add_subparsers(dest="cache_command",
                                             required=True)
@@ -982,6 +1167,9 @@ def build_parser() -> argparse.ArgumentParser:
     cache_ls.set_defaults(func=_cmd_cache_ls)
     cache_ls.add_argument("--cache-dir", required=True,
                           help="result store directory to inspect")
+    cache_ls.add_argument("--json", action="store_true",
+                          help="machine-readable output: one JSON object "
+                               "per kind, one per line")
     cache_verify = cache_sub.add_parser(
         "verify",
         help="integrity-check a sample of stored entries (exit 1 on "
@@ -999,6 +1187,37 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(*.json.quarantine) so the next sweep "
                                    "re-simulates them; exit 0 when every "
                                    "failure was repaired")
+    cache_verify.add_argument("--json", action="store_true",
+                              help="machine-readable output: the verdict "
+                                   "as one JSON object (same exit codes)")
+    cache_merge = cache_sub.add_parser(
+        "merge",
+        help="fold shard stores into one campaign store "
+             "(digest-verified; conflicting payloads abort)",
+    )
+    cache_merge.set_defaults(func=_cmd_cache_merge)
+    cache_merge.add_argument("sources", nargs="+", metavar="SRC",
+                             help="source store directories (any backend "
+                                  "mix; must exist)")
+    cache_merge.add_argument("dest", metavar="DST",
+                             help="destination store directory (created "
+                                  "on demand; may already hold earlier "
+                                  "shards — merge is incremental)")
+    cache_merge.add_argument("--backend", choices=("json", "sqlite"),
+                             default=None,
+                             help="destination layout (default: "
+                                  "auto-detect, json for a fresh store)")
+    cache_merge.add_argument("--manifests", nargs="+", default=None,
+                             metavar="PATH",
+                             help="shard sweep manifests to merge into "
+                                  "one campaign checkpoint alongside the "
+                                  "data")
+    cache_merge.add_argument("--merged-manifest", default=None,
+                             metavar="PATH",
+                             help="where to write the merged manifest "
+                                  "(default: DST.manifest.json, next to "
+                                  "the store so the store directory "
+                                  "stays byte-comparable)")
 
     # No --scale: the benchmark workloads are fixed so reports stay
     # comparable across PRs (the fig8 cell is always the smoke preset).

@@ -21,10 +21,14 @@ Determinism is preserved by construction: each cell re-derives every random
 stream from its own seed (see :meth:`repro.sim.engine.Simulator.rng`), so a
 parallel sweep is **bit-identical** to a serial one — and a batched sweep
 to a per-cell one.  With the resilience layer
-(:mod:`repro.experiments.resilience`) the contract is **five-way**:
-serial == parallel == cached == batched == interrupted-then-resumed,
-pinned by ``tests/test_orchestration.py`` and ``tests/test_resilience.py``
-— the last leg including runs with injected worker crashes and retries.
+(:mod:`repro.experiments.resilience`) and the sharded-campaign layer
+(:mod:`repro.experiments.backends`) the contract is **six-way**:
+serial == parallel == cached == batched == interrupted-then-resumed ==
+sharded-then-merged, pinned by ``tests/test_orchestration.py``,
+``tests/test_resilience.py`` and ``tests/test_backends.py`` — the
+resumed leg including runs with injected worker crashes and retries,
+the merged leg including shards cached under different store backends
+on byte-identity of the merged store.
 Aggregation always folds runs in ascending-seed order so even
 floating-point summation order matches the serial path.
 

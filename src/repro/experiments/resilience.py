@@ -32,9 +32,13 @@ the common case, not the exception:
 
 The determinism contract survives all of it: a sweep that crashed,
 retried, was interrupted and resumed produces byte-identical
-``RunResult`` payloads to an undisturbed serial run — pinned five-way
-(serial == parallel == cached == batched == interrupted-then-resumed) in
-``tests/test_resilience.py``.
+``RunResult`` payloads to an undisturbed serial run — pinned six-way
+(serial == parallel == cached == batched == interrupted-then-resumed ==
+sharded-then-merged) in ``tests/test_resilience.py`` and
+``tests/test_backends.py``.  :meth:`SweepManifest.shard` /
+:meth:`SweepManifest.merge` split a campaign across machines and fold
+the checkpoints back together; the results themselves travel through
+:func:`repro.experiments.backends.merge_stores`.
 """
 
 from __future__ import annotations
@@ -341,6 +345,99 @@ class SweepManifest:
         for cell in cells:
             self.mark_done(cell, flush=False)
         self.flush()
+
+    # -- sharding / merging (distributed campaigns) ----------------------
+    #: State precedence when merging shards: a cell another shard finished
+    #: beats one that failed, which beats one never attempted.
+    _STATE_RANK = {PENDING: 0, FAILED: 1, DONE: 2}
+
+    def _shard_path(self, index: int, count: int) -> Path:
+        name = self.path.name
+        stem = name[: -len(".json")] if name.endswith(".json") else name
+        return self.path.with_name(
+            "%s.shard-%d-of-%d.json" % (stem, index + 1, count)
+        )
+
+    def shard(self, count: int) -> list["SweepManifest"]:
+        """Split this manifest into ``count`` disjoint shard manifests.
+
+        Cells are dealt round-robin over the *sorted* cell-id space, so
+        sharding is deterministic and every shard carries a comparable
+        slice of the (protocol, rate, seed) grid rather than one machine
+        getting all the expensive protocols.  Each shard keeps the parent
+        fingerprint (so :meth:`register` on the worker machine still
+        guards against scenario drift), lands next to the parent as
+        ``<stem>.shard-K-of-N.json``, and is flushed immediately — the
+        shard files are the hand-off artifact.  The union of the shards'
+        cells is exactly this manifest's cells.
+        """
+        if count < 1:
+            raise ValueError("shard count must be >= 1, got %d" % count)
+        cell_ids = sorted(self._states)
+        shards = []
+        for index in range(count):
+            states = {
+                cell_id: dict(self._states[cell_id])
+                for cell_id in cell_ids[index::count]
+            }
+            shard = SweepManifest(
+                self._shard_path(index, count), self.fingerprint, states
+            )
+            shard.flush()
+            shards.append(shard)
+        return shards
+
+    @classmethod
+    def merge(
+        cls,
+        manifests: Sequence["SweepManifest"],
+        path: str | os.PathLike,
+    ) -> "SweepManifest":
+        """Fold shard manifests back into one campaign manifest at ``path``.
+
+        All non-empty shards must agree on the scenario fingerprint
+        (:class:`ManifestMismatchError` otherwise — merging two different
+        campaigns is the manifest-level analogue of a store merge
+        conflict); shards that never registered a scenario (fingerprint
+        ``None``, e.g. an empty shard whose machine did no work) merge
+        without constraining it.  Overlapping cell ids are resolved by
+        state precedence ``done > failed > pending`` — one shard finishing
+        a cell another gave up on is the expected overlap, not an error;
+        the *results* behind ``done`` states are digest-verified
+        separately by the store merge and again on resume (``register``
+        degrades done cells back to pending until the store vouches for
+        them).  The merged manifest is flushed to ``path`` and returned.
+        """
+        fingerprint: dict | None = None
+        fingerprint_owner: "SweepManifest | None" = None
+        states: dict[str, dict] = {}
+        for manifest in manifests:
+            if manifest.fingerprint is not None:
+                if fingerprint is None:
+                    fingerprint = dict(manifest.fingerprint)
+                    fingerprint_owner = manifest
+                elif fingerprint != manifest.fingerprint:
+                    raise ManifestMismatchError(
+                        "cannot merge manifest %s (scenario %r) with %s "
+                        "(scenario %r): fingerprints differ — these shards "
+                        "belong to different campaigns"
+                        % (
+                            manifest.path,
+                            manifest.fingerprint.get("name"),
+                            getattr(fingerprint_owner, "path", "?"),
+                            fingerprint.get("name"),
+                        )
+                    )
+            for cell_id, entry in manifest._states.items():
+                existing = states.get(cell_id)
+                if existing is None or (
+                    cls._STATE_RANK[entry.get("state", PENDING)]
+                    > cls._STATE_RANK[existing.get("state", PENDING)]
+                ):
+                    states[cell_id] = dict(entry)
+        merged = cls(path, fingerprint, states)
+        merged.flush()
+        return merged
 
     # -- queries ---------------------------------------------------------
     def counts(self) -> dict[str, int]:

@@ -19,7 +19,11 @@ rows/series the paper's figures plot:
 :mod:`repro.experiments.parallel`: pass ``jobs=N`` to fan cells out across
 processes and ``store=ResultStore(...)`` to reuse completed runs from disk.
 Results are bit-identical regardless of ``jobs`` (each cell derives all
-randomness from its own seed).
+randomness from its own seed) and of which store backend caches them —
+the full contract is six-way (serial == parallel == cached == batched ==
+resumed == merged; see :mod:`repro.experiments.parallel`).  A completed
+sweep's store renders into a standalone HTML campaign report via
+:mod:`repro.report` (``repro report`` / ``sweep --report``).
 """
 
 from __future__ import annotations

@@ -18,9 +18,16 @@ interpreter invocations — a property the parallel orchestrator
 (:mod:`repro.experiments.parallel`) relies on when several workers share
 one cache directory.
 
-Entries are single JSON files written atomically (temp file +
-:func:`os.replace`), so concurrent writers at worst duplicate work and
-never corrupt an entry.  Two kinds of entries exist:
+Physical storage is pluggable (:mod:`repro.experiments.backends`): the
+default :class:`~repro.experiments.backends.LocalJsonBackend` keeps the
+historical one-JSON-file-per-entry layout byte-for-byte (atomic temp file
++ :func:`os.replace` writes), while the ``sqlite`` backend packs a whole
+campaign into one WAL-journaled file for cross-machine transport.  Keys,
+payload digests and therefore the determinism contract are computed from
+entry *content*, never from storage details, so every backend is
+interchangeable under the pinned-digest tests and stores of different
+backends merge cleanly (:func:`~repro.experiments.backends.merge_stores`).
+Two kinds of entries exist:
 
 * ``runs/`` — serialized :class:`RunResult` payloads, one per grid cell.
 * ``routes/`` — stabilized route sets from the §5.2.3 frozen-route probe
@@ -45,14 +52,17 @@ write and the :func:`os.replace`.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
-import time
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
+from repro.experiments.backends import (
+    StoreBackend,
+    StoreCorruption,
+    canonical_digest as _digest,
+    make_backend,
+)
 from repro.metrics.collectors import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
@@ -117,11 +127,6 @@ def scenario_fingerprint(scenario: "Scenario") -> dict:
     return fingerprint
 
 
-def _digest(payload: Mapping) -> str:
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
 def cell_key(
     scenario: "Scenario", protocol: str, rate_kbps: float, seed: int
 ) -> str:
@@ -165,6 +170,11 @@ class ResultStore:
     root:
         Cache directory; created (with parents) if missing.  Safe to share
         between concurrent processes — writes are atomic renames.
+    backend:
+        Physical layout: a backend name (``"json"`` / ``"sqlite"``), a
+        ready :class:`~repro.experiments.backends.StoreBackend` instance,
+        or ``None`` to auto-detect what ``root`` already uses (sqlite if
+        ``store.sqlite`` exists, else the historical local-JSON layout).
 
     Attributes
     ----------
@@ -179,32 +189,43 @@ class ResultStore:
     #: writer (a live ``_write`` holds its temp file for milliseconds).
     STALE_TMP_AGE_S = 3600.0
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        backend: str | StoreBackend | None = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if isinstance(backend, StoreBackend):
+            self.backend = backend
+        else:
+            self.backend = make_backend(self.root, backend)
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.quarantined = 0
 
     # ------------------------------------------------------------------
-    # Generic JSON blobs
+    # Generic entry dicts (policy here, physical layout in the backend)
     # ------------------------------------------------------------------
     def _path(self, kind: str, key: str) -> Path:
-        return self.root / kind / key[:2] / ("%s.json" % key)
+        """On-disk location of one entry (local-JSON backend only).
 
-    def _quarantine(self, path: Path) -> bool:
-        """Set a corrupt entry aside as ``<name>.quarantine`` (kept on disk).
-
-        The rename makes the key a cache miss — the cell transparently
-        re-simulates and re-writes a sound entry — while preserving the
-        corrupt bytes for forensics.  A pre-existing quarantine file for
-        the same entry is overwritten (the newest corruption wins).
+        Layout introspection for tests and forensics; backends without a
+        per-entry file (sqlite) have no meaningful answer and raise.
         """
-        try:
-            os.replace(path, path.with_name(path.name + ".quarantine"))
-        except OSError:  # pragma: no cover - raced with another healer
-            return False
+        return self.backend.path(kind, key)  # type: ignore[attr-defined]
+
+    def _quarantine(self, kind: str, key: str) -> bool:
+        """Set a corrupt entry aside (kept for forensics, miss thereafter).
+
+        Quarantine makes the key a cache miss — the cell transparently
+        re-simulates and re-writes a sound entry — while preserving the
+        corrupt bytes (a ``<key>.json.quarantine`` rename under the JSON
+        backend, a flag flip under sqlite).
+        """
+        if not self.backend.quarantine(kind, key):
+            return False  # pragma: no cover - raced with another healer
         self.quarantined += 1
         return True
 
@@ -213,43 +234,32 @@ class ResultStore:
 
         Every read re-checks the recorded payload digest (sha256 of the
         canonical payload JSON, stamped by ``_write``-era puts), so bit
-        rot or torn writes surface *here* — as a miss plus a
-        ``*.quarantine`` rename — rather than as corrupt data flowing
-        into figures.  Entries predating the digest field pass through
-        unverified (their shape is still checked by the typed getters).
+        rot or torn writes surface *here* — as a miss plus a quarantine —
+        rather than as corrupt data flowing into figures.  Entries
+        predating the digest field pass through unverified (their shape
+        is still checked by the typed getters).
         """
-        path = self._path(kind, key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except OSError:
+            payload = self.backend.get(kind, key)
+        except StoreCorruption:
+            # Stored bytes exist but are not an entry: torn write, bit rot.
+            self._quarantine(kind, key)
             self.misses += 1
             return None
-        except ValueError:
-            # The file exists but is not JSON: torn write or bit rot.
-            self._quarantine(path)
-            self.misses += 1
-            return None
-        if not isinstance(payload, dict):
-            self._quarantine(path)
+        if payload is None:
             self.misses += 1
             return None
         if "digest" in payload:
             body = payload.get("result" if kind == "runs" else "routes")
             if body is None or _digest(body) != payload["digest"]:
-                self._quarantine(path)
+                self._quarantine(kind, key)
                 self.misses += 1
                 return None
         self.hits += 1
         return payload
 
     def _write(self, kind: str, key: str, payload: dict) -> None:
-        path = self._path(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / (".%s.%d.tmp" % (key, os.getpid()))
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(tmp, path)
+        self.backend.put(kind, key, payload)
         self.writes += 1
 
     # ------------------------------------------------------------------
@@ -349,49 +359,34 @@ class ResultStore:
         cutoff = (
             self.STALE_TMP_AGE_S if older_than_s is None else older_than_s
         )
-        now = time.time()
-        removed = 0
-        for path in self.root.glob("*/*/.*.tmp"):
-            try:
-                age = now - path.stat().st_mtime
-                if age >= cutoff:
-                    path.unlink()
-                    removed += 1
-            except OSError:  # pragma: no cover - raced with the writer
-                continue
-        return removed
+        return self.backend.clean_tmp(cutoff)
 
     def keys(self, kind: str) -> list[str]:
         """Sorted entry keys of one kind (``runs`` or ``routes``)."""
-        return sorted(
-            path.stem for path in (self.root / kind).glob("*/*.json")
-        )
+        return self.backend.keys(kind)
 
     def entries(self, kind: str):
         """Yield ``(key, entry_dict | None)`` per stored entry, sorted.
 
-        ``None`` marks an unparseable file (still counted, so maintenance
+        ``None`` marks an unparseable entry (still counted, so maintenance
         commands surface corruption instead of skipping it).  Does not
         touch the hit/miss counters — this is the maintenance path, not
         the lookup path.
         """
-        for path in sorted((self.root / kind).glob("*/*.json")):
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    yield path.stem, json.load(handle)
-            except (OSError, ValueError):
-                yield path.stem, None
+        return self.backend.entries(kind)
 
     def summary(self) -> dict:
         """Entry counts per kind and per recorded scenario fingerprint.
 
         The engine behind ``repro cache ls``.  Returns, per kind, the
-        total entry count and a ``scenarios`` mapping keyed by the
-        fingerprint's own sha256 (first 12 hex chars) with ``name`` /
-        ``node_count`` / ``version`` / ``count`` fields.  Entries written
-        before fingerprints were recorded (or whose writer passed none)
-        group under the ``"(unrecorded)"`` key; unparseable files under
-        ``"(corrupt)"``.
+        total *live* entry count, the number of quarantined entries set
+        aside under that kind (reported separately — a quarantined entry
+        is a cache miss, not inventory), and a ``scenarios`` mapping
+        keyed by the fingerprint's own sha256 (first 12 hex chars) with
+        ``name`` / ``node_count`` / ``version`` / ``count`` fields.
+        Entries written before fingerprints were recorded (or whose
+        writer passed none) group under the ``"(unrecorded)"`` key;
+        unparseable entries under ``"(corrupt)"``.
         """
         report: dict = {}
         for kind in self.KINDS:
@@ -419,7 +414,11 @@ class ResultStore:
                         },
                     )
                 group["count"] += 1
-            report[kind] = {"total": total, "scenarios": scenarios}
+            report[kind] = {
+                "total": total,
+                "quarantined": len(self.backend.quarantined(kind)),
+                "scenarios": scenarios,
+            }
         return report
 
     def verify_sample(self, sample: int = 16, repair: bool = False) -> dict:
@@ -450,6 +449,22 @@ class ResultStore:
             )
         checked = ok = legacy = quarantined = 0
         failures: list[tuple[str, str]] = []
+        # Container-level health first: a corrupt sqlite file (or any
+        # future backend with structure of its own) fails verification
+        # even when the sampled entries happen to read back fine.  If the
+        # container itself is damaged, entry sampling would crash or lie,
+        # so the verdict stops at the storage failure.
+        storage_problems = self.backend.verify()
+        for problem in storage_problems:
+            failures.append(("(storage)", problem))
+        if storage_problems:
+            return {
+                "checked": 0,
+                "ok": 0,
+                "legacy": 0,
+                "quarantined": 0,
+                "failures": failures,
+            }
         for kind in self.KINDS:
             keys = self.keys(kind)
             if not keys:
@@ -463,11 +478,8 @@ class ResultStore:
                 picked = keys
             for key in picked:
                 try:
-                    with open(
-                        self._path(kind, key), "r", encoding="utf-8"
-                    ) as handle:
-                        entry = json.load(handle)
-                except (OSError, ValueError):
+                    entry = self.backend.get(kind, key)
+                except StoreCorruption:
                     entry = None
                 checked += 1
                 why = self._verify_entry(kind, key, entry)
@@ -477,7 +489,7 @@ class ResultStore:
                     ok += 1
                 else:
                     failures.append((key, "%s/%s: %s" % (kind, key[:12], why)))
-                    if repair and self._quarantine(self._path(kind, key)):
+                    if repair and self._quarantine(kind, key):
                         quarantined += 1
         return {
             "checked": checked,
@@ -507,12 +519,8 @@ class ResultStore:
         return None
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*/*.json"))
+        return self.backend.count()
 
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed."""
-        removed = 0
-        for path in self.root.glob("*/*/*.json"):
-            path.unlink()
-            removed += 1
-        return removed
+        return self.backend.clear()

@@ -1,24 +1,42 @@
-"""Terminal (ASCII) line plots for regenerating the paper's figures.
+"""Terminal (ASCII) and inline-SVG line plots for the paper's figures.
 
 The paper's evaluation figures are line charts — metric vs offered rate,
-one series per protocol.  This renderer draws them in a terminal so the
-benchmark suite can reproduce *figures*, not just tables, without any
-plotting dependency.
+one series per protocol.  This renderer draws them in a terminal
+(:meth:`AsciiPlot.render`) so the benchmark suite can reproduce
+*figures*, not just tables, without any plotting dependency, and as
+self-contained SVG markup (:meth:`AsciiPlot.render_svg`) for the HTML
+campaign reports in :mod:`repro.report` — same series, same bounds, no
+matplotlib, no external resources, byte-deterministic output.
 
 Usage::
 
     plot = AsciiPlot(title="Fig. 9", xlabel="Rate (Kbit/s)",
                      ylabel="Energy goodput (bit/J)")
     plot.add_series("TITAN-PC", xs, ys)
-    print(plot.render())
+    print(plot.render())        # terminal
+    svg = plot.render_svg()     # embeddable <svg>...</svg> string
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
 
 #: Marker cycle for distinguishing series.
 MARKERS = "*+ox#@%&"
+
+#: Fill cycle for SVG series (colorblind-safe-ish, fixed so output is
+#: deterministic across runs and machines).
+SVG_COLORS = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+    "#17becf",
+    "#7f7f7f",
+)
 
 
 @dataclass
@@ -122,6 +140,119 @@ class AsciiPlot:
         if self.ylabel:
             lines.insert(1 if self.title else 0, "  y: " + self.ylabel)
         return "\n".join(lines)
+
+
+    # ------------------------------------------------------------------
+    def render_svg(self, width: int = 640, height: int = 360) -> str:
+        """Draw the plot as a standalone ``<svg>`` element (a string).
+
+        Shares :meth:`_bounds` and the series list with the ASCII
+        renderer, so both views of a figure agree.  The markup is fully
+        self-contained — inline styling, generic font stack, fixed
+        :data:`SVG_COLORS` palette, coordinates formatted with ``%.2f``
+        — so embedding it in an HTML report adds zero external
+        references and the bytes are identical for identical data.
+        """
+        if not self.series:
+            raise ValueError("nothing to plot")
+        x_min, x_max, y_min, y_max = self._bounds()
+        left, right, top, bottom = 64.0, 16.0, 28.0, 46.0
+        plot_w = width - left - right
+        plot_h = height - top - bottom
+
+        def sx(x: float) -> str:
+            return "%.2f" % (left + (x - x_min) / (x_max - x_min) * plot_w)
+
+        def sy(y: float) -> str:
+            return "%.2f" % (
+                top + plot_h - (y - y_min) / (y_max - y_min) * plot_h
+            )
+
+        # No xmlns: HTML5 parsers place inline <svg> in the SVG namespace
+        # automatically, and omitting it keeps the report free of even
+        # cosmetic URL strings (CI greps the file for http(s)://).
+        parts = [
+            '<svg width="%d" height="%d"'
+            ' viewBox="0 0 %d %d" role="img">' % (width, height, width, height),
+            '<rect width="%d" height="%d" fill="#ffffff"/>' % (width, height),
+        ]
+        if self.title:
+            parts.append(
+                '<text x="%.2f" y="18" text-anchor="middle"'
+                ' font-family="sans-serif" font-size="13"'
+                ' font-weight="bold">%s</text>'
+                % (left + plot_w / 2, escape(self.title))
+            )
+        # Axes frame + ticks (4 intervals each way, evenly spaced).
+        parts.append(
+            '<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f"'
+            ' fill="none" stroke="#444444" stroke-width="1"/>'
+            % (left, top, plot_w, plot_h)
+        )
+        for step in range(5):
+            t = step / 4.0
+            x_val = x_min + t * (x_max - x_min)
+            y_val = y_min + t * (y_max - y_min)
+            parts.append(
+                '<text x="%s" y="%.2f" text-anchor="middle"'
+                ' font-family="sans-serif" font-size="10"'
+                ' fill="#444444">%s</text>'
+                % (sx(x_val), top + plot_h + 14, escape("%.3g" % x_val))
+            )
+            parts.append(
+                '<text x="%.2f" y="%s" text-anchor="end"'
+                ' font-family="sans-serif" font-size="10"'
+                ' fill="#444444" dy="3">%s</text>'
+                % (left - 6, sy(y_val), escape("%.3g" % y_val))
+            )
+            if 0 < step < 4:
+                parts.append(
+                    '<line x1="%.2f" y1="%s" x2="%.2f" y2="%s"'
+                    ' stroke="#dddddd" stroke-width="1"/>'
+                    % (left, sy(y_val), left + plot_w, sy(y_val))
+                )
+        if self.xlabel:
+            parts.append(
+                '<text x="%.2f" y="%.2f" text-anchor="middle"'
+                ' font-family="sans-serif" font-size="11">%s</text>'
+                % (left + plot_w / 2, height - 6.0, escape(self.xlabel))
+            )
+        if self.ylabel:
+            parts.append(
+                '<text x="12" y="%.2f" text-anchor="middle"'
+                ' font-family="sans-serif" font-size="11"'
+                ' transform="rotate(-90 12 %.2f)">%s</text>'
+                % (top + plot_h / 2, top + plot_h / 2, escape(self.ylabel))
+            )
+        for index, series in enumerate(self.series):
+            color = SVG_COLORS[index % len(SVG_COLORS)]
+            points = sorted(zip(series.xs, series.ys))
+            coords = " ".join("%s,%s" % (sx(x), sy(y)) for x, y in points)
+            if len(points) > 1:
+                parts.append(
+                    '<polyline points="%s" fill="none" stroke="%s"'
+                    ' stroke-width="1.5"/>' % (coords, color)
+                )
+            for x, y in points:
+                parts.append(
+                    '<circle cx="%s" cy="%s" r="3" fill="%s"/>'
+                    % (sx(x), sy(y), color)
+                )
+        # Legend: one row per series, top-right inside the frame.
+        for index, series in enumerate(self.series):
+            color = SVG_COLORS[index % len(SVG_COLORS)]
+            row_y = top + 12.0 + 14.0 * index
+            parts.append(
+                '<rect x="%.2f" y="%.2f" width="10" height="10"'
+                ' fill="%s"/>' % (left + plot_w - 110, row_y - 9, color)
+            )
+            parts.append(
+                '<text x="%.2f" y="%.2f" font-family="sans-serif"'
+                ' font-size="10">%s</text>'
+                % (left + plot_w - 96, row_y, escape(series.label))
+            )
+        parts.append("</svg>")
+        return "".join(parts)
 
 
 def figure_from_sweep(

@@ -1,0 +1,27 @@
+"""Standalone HTML campaign reports over the result store.
+
+The serving layer of a sweep campaign: :func:`build_campaign`
+(:mod:`repro.report.campaign`) decodes and aggregates every cached run,
+:func:`render_html` / :func:`generate_report` (:mod:`repro.report.html`)
+turn that into one self-contained, byte-deterministic HTML file —
+figures, CI tables, optional dynamics/traffic/channel blocks and a
+provenance section.  Exposed as ``repro report`` and ``repro sweep
+--report``.
+"""
+
+from repro.report.campaign import (
+    Campaign,
+    CampaignCell,
+    CampaignGroup,
+    build_campaign,
+)
+from repro.report.html import generate_report, render_html
+
+__all__ = [
+    "Campaign",
+    "CampaignCell",
+    "CampaignGroup",
+    "build_campaign",
+    "generate_report",
+    "render_html",
+]
