@@ -90,9 +90,16 @@ class StoreBackend:
     A backend stores opaque **entry dicts** under ``(kind, key)`` pairs
     and knows nothing about RunResults, digests or fingerprints — that
     policy lives in the store, which is what keeps integrity guarantees
-    identical across backends.  Implementations must be safe for one
-    writer per process (writes happen only in the orchestrating parent,
-    never in pool workers).
+    identical across backends.  Implementations must tolerate concurrent
+    writers across processes: the warm dispatch path
+    (:mod:`repro.experiments.parallel`) has every pool worker write its
+    finished entries directly, with only ``(key, digest)`` receipts
+    returning to the orchestrating parent.  Both shipped backends
+    already are — the JSON layout publishes each entry with an atomic
+    per-file :func:`os.replace`, and sqlite serializes writers through
+    its WAL journal — and since the determinism contract makes equal
+    keys hold equal bytes, a write race is always a benign last-write-
+    wins of identical content.
     """
 
     #: Registry name, recorded in report provenance.

@@ -17,18 +17,39 @@ result store stays **per cell**: batching changes how work reaches a
 worker, never what is cached or under which key.  ``batch=False`` restores
 the per-cell fan-out.
 
+Pooled, store-backed sweeps run on **warm workers** by default: the pool
+initializer ships the :class:`~repro.experiments.scenarios.Scenario` (and
+its fingerprint) to each worker exactly once, workers memoize the
+materialized placement and frozen channel geometry keyed by (scenario
+fingerprint, placement seed) so every batch after a worker's first reuses
+them instead of re-freezing, and finished entries are written into the
+multi-process-safe result store **by the worker itself** — only
+``(key, digest)`` :class:`CellReceipt` triples travel back over the pool,
+so IPC is O(digest) per cell instead of O(payload).  The parent re-reads
+and digest-verifies every receipt before marking the manifest cell done;
+a receipt that fails verification leaves its cell pending and a bounded
+cold (parent-write) pass finishes it, so the PR 7 retry/timeout/
+quarantine/interrupt-drain semantics are preserved unchanged.  Pending
+units are ordered **longest-expected-first** by a per-(protocol, rate)
+cost model (:mod:`repro.experiments.costmodel`) learned from the sweep's
+own cache hits, and submitted through a bounded in-flight window so
+parent-side memory stays O(jobs), not O(grid).
+
 Determinism is preserved by construction: each cell re-derives every random
 stream from its own seed (see :meth:`repro.sim.engine.Simulator.rng`), so a
 parallel sweep is **bit-identical** to a serial one — and a batched sweep
 to a per-cell one.  With the resilience layer
-(:mod:`repro.experiments.resilience`) and the sharded-campaign layer
-(:mod:`repro.experiments.backends`) the contract is **six-way**:
+(:mod:`repro.experiments.resilience`), the sharded-campaign layer
+(:mod:`repro.experiments.backends`) and the warm-worker dispatch path the
+contract is **seven-way**:
 serial == parallel == cached == batched == interrupted-then-resumed ==
-sharded-then-merged, pinned by ``tests/test_orchestration.py``,
-``tests/test_resilience.py`` and ``tests/test_backends.py`` — the
-resumed leg including runs with injected worker crashes and retries,
-the merged leg including shards cached under different store backends
-on byte-identity of the merged store.
+sharded-then-merged == warm, pinned by ``tests/test_orchestration.py``,
+``tests/test_resilience.py``, ``tests/test_backends.py`` and
+``tests/test_warm_sweep.py`` — the resumed leg including runs with
+injected worker crashes and retries, the merged leg including shards
+cached under different store backends on byte-identity of the merged
+store, the warm leg on byte-identity of worker-written stores under both
+backends.
 Aggregation always folds runs in ascending-seed order so even
 floating-point summation order matches the serial path.
 
@@ -83,6 +104,7 @@ from repro.experiments.resilience import (
     SweepManifest,
     _mark_worker,
 )
+from repro.experiments.costmodel import SweepCostModel
 from repro.experiments.scenarios import Scenario
 from repro.experiments.store import ResultStore, cell_key, scenario_fingerprint
 from repro.metrics.collectors import AggregateResult, RunResult, aggregate_runs
@@ -90,6 +112,11 @@ from repro.metrics.collectors import AggregateResult, RunResult, aggregate_runs
 #: Dispatcher poll period while futures are outstanding: how often the
 #: interrupt flag and the per-cell timeout watchdog are evaluated.
 _POLL_INTERVAL_S = 0.05
+
+#: In-flight submission window, in multiples of ``jobs``: enough queued
+#: futures that no worker ever idles waiting for the parent's poll loop,
+#: small enough that parent-side memory stays O(jobs) instead of O(grid).
+_INFLIGHT_FACTOR = 2
 
 
 @dataclass(frozen=True, order=True)
@@ -295,6 +322,144 @@ def _execute_batch(scenario: Scenario, batch: GridBatch) -> list[RunResult]:
     return run_batch(scenario, batch.protocol, batch.rate_kbps, batch.seeds)
 
 
+# ----------------------------------------------------------------------
+# Warm-worker dispatch: shared scenario state + worker-side store writes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellReceipt:
+    """What a warm worker returns per cell instead of the result payload.
+
+    The payload itself is already on disk (the worker wrote it into the
+    shared result store), so the pool only carries the cell's cache
+    ``key``, the payload ``digest`` the parent must re-verify before
+    marking the manifest cell done, and the run's ``events`` count (feeds
+    the progress reporter's aggregate events/s and the cost model).
+    ``cached`` marks a seed the worker found already persisted — a
+    crashed-then-retried batch whose earlier attempt got that far.
+    """
+
+    key: str
+    digest: str
+    events: int
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class _WarmSpec:
+    """Everything a warm pool worker needs, shipped once via initargs.
+
+    ``fingerprint`` is the parent's :func:`scenario_fingerprint` dict —
+    pickled verbatim, so worker-computed cache keys and recorded
+    fingerprints are byte-identical to what the parent would write.
+    ``store_root``/``backend_name`` let each worker open its own store
+    handle (the sqlite backend connects lazily per process, the JSON
+    backend is just a directory), rather than inheriting a parent handle
+    across ``fork``.
+    """
+
+    scenario: Scenario
+    fingerprint: dict
+    store_root: str
+    backend_name: str
+
+
+class _WarmContext:
+    """Per-worker memoized state behind :func:`_execute_batch_warm`."""
+
+    def __init__(self, spec: _WarmSpec) -> None:
+        self.scenario = spec.scenario
+        self.fingerprint = spec.fingerprint
+        self.store = ResultStore(spec.store_root, backend=spec.backend_name)
+        self._shared: dict = {}
+
+    def shared_setup(self, batch: GridBatch):
+        """Memoized (placement, geometry) for shared-placement scenarios.
+
+        Keyed by (scenario fingerprint, placement seed): the first batch a
+        worker executes materializes the placement and freezes its
+        :class:`~repro.sim.channel.ChannelGeometry`; every sibling batch
+        after that — including single-seed batches, which the cold path
+        cannot share into — reuses both.  Scenarios whose placement
+        depends on the seed get ``(None, None)`` and derive per cell,
+        exactly like the cold path.
+        """
+        if not self.scenario.shares_placement:
+            return None, None
+        from repro.experiments.backends import canonical_digest
+        from repro.sim.channel import ChannelGeometry
+
+        key = (
+            canonical_digest(self.fingerprint),
+            self.scenario.placement_seed,
+        )
+        pair = self._shared.get(key)
+        if pair is None:
+            placement = self.scenario.placement(batch.seeds[0])
+            geometry = ChannelGeometry.build(
+                placement.positions, self.scenario.card.max_range
+            )
+            pair = (placement, geometry)
+            self._shared[key] = pair
+        return pair
+
+
+#: The warm worker's context; set exactly once per worker process by
+#: :func:`_init_warm_worker`, never in the orchestrating parent.
+_WARM_CONTEXT: _WarmContext | None = None
+
+
+def _init_warm_worker(spec: _WarmSpec) -> None:
+    """Pool initializer for warm workers: mark, then build the context.
+
+    Runs once per worker process.  Marks the process as a worker (fault
+    injection, signal disposition — exactly like the cold initializer)
+    and materializes the :class:`_WarmContext` every subsequent
+    :func:`_execute_batch_warm` call reads, so the scenario crosses the
+    pool boundary once instead of once per dispatch unit.
+    """
+    global _WARM_CONTEXT
+    _mark_worker()
+    _WARM_CONTEXT = _WarmContext(spec)
+
+
+def _execute_batch_warm(batch: GridBatch) -> list[CellReceipt]:
+    """Run one batch on a warm worker; returns receipts, not payloads.
+
+    Reads the worker-global :class:`_WarmContext` (scenario, fingerprint,
+    store handle, memoized shared setup) installed by the pool
+    initializer, then delegates to
+    :func:`repro.experiments.runner.run_batch_receipts`, which writes
+    each finished seed straight into the store.  Shared-setup failures
+    are wrapped exactly like the cold path's, naming the batch's first
+    cell.
+    """
+    context = _WARM_CONTEXT
+    if context is None:  # pragma: no cover - dispatch wiring bug
+        raise RuntimeError(
+            "_execute_batch_warm outside a warm pool worker "
+            "(initializer did not run)"
+        )
+    from repro.experiments.runner import run_batch_receipts
+
+    try:
+        placement, geometry = context.shared_setup(batch)
+    except Exception as exc:
+        cell = GridCell(batch.protocol, batch.rate_kbps, batch.seeds[0])
+        raise GridCellError.from_exception(
+            cell, exc, prefix="shared batch setup failed: "
+        ) from exc
+    return run_batch_receipts(
+        context.scenario,
+        batch.protocol,
+        batch.rate_kbps,
+        batch.seeds,
+        store=context.store,
+        fingerprint=context.fingerprint,
+        placement=placement,
+        geometry=geometry,
+    )
+
+
 def _probe_routes(
     scenario: Scenario,
     protocol: str,
@@ -317,20 +482,40 @@ def _unit_size(item: object) -> int:
     return len(item) if isinstance(item, GridBatch) else 1
 
 
-def _terminate_workers(pool: ProcessPoolExecutor) -> None:
-    """Kill a pool's worker processes (timeout enforcement).
+def _terminate_workers(
+    pool: ProcessPoolExecutor, join_timeout_s: float = 5.0
+) -> None:
+    """Kill a pool's worker processes and reap them (timeout enforcement).
 
     ``ProcessPoolExecutor`` has no public "kill a stuck worker" API; a
     worker wedged inside a simulation never observes a cooperative
     cancel, so the only recovery is termination.  Reaches into
     ``pool._processes`` (stable since 3.8) defensively — if the attribute
     moves, timeouts degrade to "wait forever", never to a crash.
+
+    ``terminate()`` alone leaves the dead child a zombie until someone
+    waits on it; across many retry rounds of a long campaign those
+    defunct entries accumulate and eat the process table.  So every
+    terminated worker is ``join()``-ed against one shared, bounded
+    deadline, and a worker that still has not died by then (SIGTERM
+    blocked mid-syscall) is escalated to ``kill()`` and joined briefly
+    again.  A worker that ignores SIGKILL is the kernel's problem, not
+    ours — the bound guarantees the sweep never hangs in reaping.
     """
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for process in processes:
         try:
             process.terminate()
         except Exception:  # pragma: no cover - already-dead worker
+            pass
+    deadline = time.monotonic() + join_timeout_s
+    for process in processes:
+        try:
+            process.join(max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+        except Exception:  # pragma: no cover - already-reaped worker
             pass
 
 
@@ -361,6 +546,9 @@ class _Dispatcher:
         cells_of: Callable[[object], list] | None,
         on_failure: Callable | None,
         split: Callable | None,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+        reporter: "ProgressReporter | None" = None,
     ) -> None:
         self.task = task
         self.record = record
@@ -370,6 +558,9 @@ class _Dispatcher:
         self.cells_of = cells_of or (lambda item: [item])
         self.on_failure = on_failure or (lambda *args: None)
         self.split = split
+        self.initializer = initializer if initializer is not None else _mark_worker
+        self.initargs = initargs
+        self.reporter = reporter
 
     # -- shared failure handling ---------------------------------------
     def _deterministic_failure(
@@ -457,24 +648,47 @@ class _Dispatcher:
     def _pool_round(self, queue: list, attempts: dict) -> list:
         """One pool lifetime; returns the units still needing work.
 
+        Units are submitted through a bounded in-flight window
+        (:data:`_INFLIGHT_FACTOR` x ``jobs``) that is topped up as
+        futures complete, so the parent holds O(jobs) pending futures —
+        not O(grid) — however large the campaign; the unsubmitted tail
+        just waits in the queue.
+
         The pool dies (and is rebuilt by the next round) whenever a
         worker crashes or a timeout forces termination; units that
         neither completed nor failed permanently are re-queued with an
         incremented attempt count.  Everything in flight when a crash
         hits is a casualty — the executor cannot attribute the death to
-        one unit — so all unfinished units share the attempt penalty.
+        one unit — so all *submitted* unfinished units share the attempt
+        penalty; the never-submitted tail was not in harm's way and is
+        re-queued without one.
         """
         pool = ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(queue)), initializer=_mark_worker
+            max_workers=min(self.jobs, len(queue)),
+            initializer=self.initializer,
+            initargs=self.initargs,
         )
-        futures = {pool.submit(self.task, item): item for item in queue}
-        waiting = set(futures)
+        window = max(self.jobs * _INFLIGHT_FACTOR, self.jobs + 1)
+        futures: dict = {}
+        waiting: set = set()
+        next_up = 0
+
+        def _top_up() -> None:
+            nonlocal next_up
+            while next_up < len(queue) and len(waiting) < window:
+                item = queue[next_up]
+                next_up += 1
+                future = pool.submit(self.task, item)
+                futures[future] = item
+                waiting.add(future)
+
         handled: set = set()  # recorded, permanently failed, or replaced
         replacements: list = []
         timed_out: set = set()
         running_since: dict = {}
         broken = False
         interrupted = False
+        _top_up()
         try:
             while waiting:
                 done, waiting = wait(
@@ -511,14 +725,22 @@ class _Dispatcher:
                         # kill it; the pool breaks and the next loop
                         # iteration observes BrokenProcessPool.
                         _terminate_workers(pool)
+                if self.reporter is not None:
+                    self.reporter.note_busy(
+                        sum(1 for future in waiting if future.running())
+                    )
+                _top_up()
         except BrokenProcessPool:
             broken = True
         finally:
+            if self.reporter is not None:
+                self.reporter.note_busy(0)
             pool.shutdown(wait=False, cancel_futures=True)
+        tail = queue[next_up:]
         if interrupted:
             remaining = sum(
                 1 for item in futures.values() if item not in handled
-            )
+            ) + len(tail)
             raise SweepInterrupted(remaining=remaining)
         next_queue = []
         for item in futures.values():  # insertion order == queue order
@@ -535,7 +757,7 @@ class _Dispatcher:
                 self._transient_failure(item, cause, attempts[item])
             else:
                 next_queue.append(item)
-        return next_queue + replacements
+        return next_queue + tail + replacements
 
     def _drain(self, futures: dict, waiting: set, attempts: dict) -> set:
         """Graceful interruption: cancel queued units, collect running ones.
@@ -600,6 +822,9 @@ def _dispatch(
     cells_of: Callable[[_Item], list] | None = None,
     on_failure: Callable[[CellFailure], None] | None = None,
     split: Callable[[_Item, GridCellError], list] | None = None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    reporter: "ProgressReporter | None" = None,
 ) -> None:
     """Run ``task`` over ``pending`` serially or via a process pool.
 
@@ -608,6 +833,9 @@ def _dispatch(
     the parent process.  Failure behaviour, retries and timeouts follow
     ``policy`` (default: fail fast, no retries — the pre-resilience
     contract); ``interrupt`` enables graceful SIGINT/SIGTERM draining.
+    ``initializer``/``initargs`` replace the default worker-marking pool
+    initializer (the warm path ships its :class:`_WarmSpec` this way);
+    ``reporter`` receives worker-utilization samples from the poll loop.
     See :class:`_Dispatcher` for the semantics.
     """
     dispatcher = _Dispatcher(
@@ -619,6 +847,9 @@ def _dispatch(
         cells_of=cells_of,
         on_failure=on_failure,
         split=split,
+        initializer=initializer,
+        initargs=initargs,
+        reporter=reporter,
     )
     if jobs <= 1 or len(pending) <= 1:
         dispatcher.run_serial(pending)
@@ -678,6 +909,7 @@ def _run_cached(
         interrupt=interrupt,
         cells_of=lambda item: [label(item)],
         on_failure=on_failure,
+        reporter=reporter,
     )
     return results
 
@@ -704,8 +936,18 @@ class ProgressReporter:
     ``done``/``total`` and the ETA are always counted in **cells**, never
     dispatch units, so a batched sweep (few large units) reports the same
     scale — and the same ETA arithmetic — as a per-cell one.  ETA
-    extrapolates from the mean wall-clock of live (non-cached) cells;
-    cache hits are reported once, up front.
+    extrapolates from the mean wall-clock of live (non-cached) cells,
+    measured on the **live clock** — it starts when the cache partition
+    finishes, so time spent reading (possibly thousands of) cache hits
+    never skews the projected rate of the cells still to simulate.  Cache
+    hits are reported once, up front.
+
+    The dispatcher additionally feeds the reporter aggregate simulation
+    throughput (:meth:`note_events`, from per-cell event counts) and
+    worker-occupancy samples (:meth:`note_busy`, from its poll loop);
+    when present, progress lines grow an events/s column and
+    :meth:`finish` prints a one-line summary with mean events/s and
+    worker utilization.
     """
 
     def __init__(
@@ -716,23 +958,66 @@ class ProgressReporter:
     ) -> None:
         self.total = total
         self.done = 0
+        self.events_done = 0
+        self.jobs = 1
         self._live_done = 0
         self.enabled = enabled
         self.stream = stream if stream is not None else sys.stderr
         self._start = time.monotonic()
+        self._live_start: float | None = None
+        self._busy_s = 0.0
+        self._busy_sample: tuple[float, int] | None = None
 
     def _emit(self, line: str) -> None:
         if self.enabled:
             print(line, file=self.stream, flush=True)
 
+    def _live_elapsed(self) -> float:
+        anchor = self._live_start if self._live_start is not None else self._start
+        return time.monotonic() - anchor
+
     def cached(self, count: int) -> None:
-        """Record ``count`` cells satisfied from the result store."""
+        """Record ``count`` cells satisfied from the result store.
+
+        Also anchors the live clock: everything before this moment was
+        cache lookups, not simulation, and must not count toward the
+        per-live-cell rate the ETA extrapolates from.
+        """
         self.done += count
+        self._live_start = time.monotonic()
         if count:
             self._emit(
                 "[%*d/%d] reused from cache"
                 % (len(str(self.total)), self.done, self.total)
             )
+
+    def note_events(self, events: int) -> None:
+        """Add a finished unit's simulation events to the aggregate."""
+        self.events_done += events
+
+    def note_busy(self, running: int) -> None:
+        """One worker-occupancy sample from the dispatcher's poll loop.
+
+        Integrates busy worker-seconds between samples (clamped to
+        ``jobs`` — a future briefly observed running during handover
+        cannot make utilization exceed 100%).  ``running=0`` closes the
+        current integration span (end of a pool round).
+        """
+        now = time.monotonic()
+        if self._busy_sample is not None:
+            then, busy = self._busy_sample
+            self._busy_s += min(busy, self.jobs) * (now - then)
+        self._busy_sample = (now, running) if running > 0 else None
+
+    @property
+    def utilization(self) -> float | None:
+        """Mean busy fraction of the worker pool, or None before samples."""
+        if self._busy_s <= 0.0 or self.jobs <= 0:
+            return None
+        elapsed = self._live_elapsed()
+        if elapsed <= 0.0:
+            return None
+        return min(1.0, self._busy_s / (elapsed * self.jobs))
 
     def advance(self, label: object, cells: int = 1) -> None:
         """Record ``cells`` freshly-simulated cells and print progress + ETA.
@@ -745,12 +1030,34 @@ class ProgressReporter:
         self.done += cells
         self._live_done += cells
         elapsed = time.monotonic() - self._start
+        live = self._live_elapsed()
         remaining = self.total - self.done
-        eta = elapsed / self._live_done * remaining
-        self._emit(
-            "[%*d/%d] %-40s elapsed %6.1fs  ETA %6.1fs"
-            % (len(str(self.total)), self.done, self.total, label, elapsed, eta)
+        eta = live / self._live_done * remaining
+        line = "[%*d/%d] %-40s elapsed %6.1fs  ETA %6.1fs" % (
+            len(str(self.total)), self.done, self.total, label, elapsed, eta,
         )
+        if self.events_done and live > 0.0:
+            line += "  %9.0f ev/s" % (self.events_done / live)
+        self._emit(line)
+
+    def finish(self) -> None:
+        """One summary line after the sweep: throughput and utilization.
+
+        Printed only when live (non-cached) cells actually ran; a fully
+        cache-served sweep has no throughput to report.
+        """
+        if not self._live_done:
+            return
+        live = self._live_elapsed()
+        line = "[%*d/%d] %d cell(s) simulated in %.1fs" % (
+            len(str(self.total)), self.done, self.total,
+            self._live_done, live,
+        )
+        if self.events_done and live > 0.0:
+            line += ", %.0f events/s" % (self.events_done / live)
+        if self.utilization is not None:
+            line += ", %d%% worker utilization" % round(self.utilization * 100)
+        self._emit(line)
 
 
 def _split_batch(unit: GridBatch, error: GridCellError) -> list[GridBatch]:
@@ -781,6 +1088,7 @@ def run_grid(
     manifest: SweepManifest | None = None,
     failures: SweepFailureReport | None = None,
     interrupt: InterruptGuard | None = None,
+    warm: bool = True,
 ) -> dict[GridCell, RunResult]:
     """Execute ``cells``, fanning out across processes and reusing the store.
 
@@ -807,6 +1115,19 @@ def run_grid(
         either way; only wall-clock and failure granularity change (a
         failing seed discards its batch's earlier, not-yet-persisted
         seeds).
+    warm:
+        Use the warm-worker dispatch path (the default) whenever it can
+        engage — batched, pooled (``jobs > 1``, more than one dispatch
+        unit) and store-backed.  Warm workers receive the scenario once
+        via the pool initializer, memoize shared placement/geometry
+        across their batches, write finished entries into the store
+        themselves and return ``(key, digest)`` receipts that the parent
+        re-verifies against the store before marking cells done; a cell
+        whose receipt fails verification is finished on the cold
+        (parent-write) path.  Results are **bit-identical** to the cold
+        path — the seventh leg of the determinism contract — so
+        ``warm=False`` exists for benchmarking the dispatch overhead,
+        not for correctness.
     policy:
         :class:`~repro.experiments.resilience.FaultPolicy` governing
         retries, timeouts and fail-vs-continue.  Default: fail fast.
@@ -872,6 +1193,7 @@ def run_grid(
             )
 
     reporter = _make_reporter(progress, len(cells))
+    reporter.jobs = max(1, jobs)
 
     try:
         if not batch:
@@ -883,6 +1205,7 @@ def run_grid(
                 results[cell] = result
                 put(cell, result)
                 _mark_done(cell)
+                reporter.note_events(result.events_processed)
                 reporter.advance(cell)
 
             _dispatch(
@@ -894,7 +1217,9 @@ def run_grid(
                 interrupt=interrupt,
                 cells_of=lambda cell: [cell],
                 on_failure=_on_failure,
+                reporter=reporter,
             )
+            reporter.finish()
             return results
 
         results, pending = _partition_cached(cells, get, reporter)
@@ -906,9 +1231,97 @@ def run_grid(
                 results[cell] = result
                 put(cell, result)
                 _mark_done(cell)
+            reporter.note_events(
+                sum(result.events_processed for result in batch_results)
+            )
             reporter.advance(unit, cells=len(batch_results))
 
         batches = _split_for_jobs(batch_cells(pending), jobs)
+        if jobs > 1 and len(batches) > 1:
+            # Longest-expected-first scheduling: keeps one slow high-rate
+            # unit from tail-blocking the campaign.  Ordering is pure
+            # wall-clock policy — the store/manifest/results are
+            # permutation-invariant (pinned by tests) — and the model is
+            # seeded from this sweep's own cache hits when it has any.
+            model = SweepCostModel(duration_s=scenario.duration)
+            model.observe_results(results.items())
+            batches = model.order(batches)
+        if warm and store is not None and jobs > 1 and len(batches) > 1:
+            failed_cells: set[GridCell] = set()
+
+            def _on_failure_warm(failure: CellFailure) -> None:
+                failed_cells.add(failure.cell)
+                _on_failure(failure)
+
+            def _record_receipts(
+                unit: GridBatch, receipts: list[CellReceipt]
+            ) -> None:
+                verified = 0
+                events = 0
+                for cell, receipt in zip(unit.cells(), receipts):
+                    entry = store.get_run_entry(_key(cell))
+                    if entry is None:
+                        continue  # worker's write vanished: cold pass re-runs
+                    result, digest = entry
+                    if digest != receipt.digest:
+                        continue  # receipt lies about what is on disk
+                    results[cell] = result
+                    _mark_done(cell)
+                    # The cell was pending, the entry exists now: this
+                    # sweep produced it (possibly via a since-crashed
+                    # worker), so it counts as a write exactly like a
+                    # parent-side put_run would.
+                    store.writes += 1
+                    verified += 1
+                    events += receipt.events
+                if verified:
+                    reporter.note_events(events)
+                    reporter.advance(unit, cells=verified)
+
+            spec = _WarmSpec(
+                scenario=scenario,
+                fingerprint=fingerprint,
+                store_root=str(store.root),
+                backend_name=store.backend.name,
+            )
+            _dispatch(
+                batches,
+                _execute_batch_warm,
+                _record_receipts,
+                jobs,
+                policy=policy,
+                interrupt=interrupt,
+                cells_of=lambda unit: unit.cells(),
+                on_failure=_on_failure_warm,
+                split=_split_batch,
+                initializer=_init_warm_worker,
+                initargs=(spec,),
+                reporter=reporter,
+            )
+            leftovers = [
+                cell
+                for cell in pending
+                if cell not in results and cell not in failed_cells
+            ]
+            if leftovers:
+                # A receipt failed verification (or a worker's write was
+                # lost/corrupted after the fact): finish those cells on
+                # the cold, parent-write path.  Bounded — one pass over
+                # the survivors — and byte-identical by contract.
+                _dispatch(
+                    _split_for_jobs(batch_cells(leftovers), jobs),
+                    partial(_execute_batch, scenario),
+                    _record,
+                    jobs,
+                    policy=policy,
+                    interrupt=interrupt,
+                    cells_of=lambda unit: unit.cells(),
+                    on_failure=_on_failure,
+                    split=_split_batch,
+                    reporter=reporter,
+                )
+            reporter.finish()
+            return results
         _dispatch(
             batches,
             partial(_execute_batch, scenario),
@@ -919,7 +1332,9 @@ def run_grid(
             cells_of=lambda unit: unit.cells(),
             on_failure=_on_failure,
             split=_split_batch,
+            reporter=reporter,
         )
+        reporter.finish()
         return results
     except SweepInterrupted as exc:
         exc.done = reporter.done
@@ -997,17 +1412,19 @@ def run_sweep(
     manifest: SweepManifest | None = None,
     failures: SweepFailureReport | None = None,
     interrupt: InterruptGuard | None = None,
+    warm: bool = True,
 ) -> dict[tuple[str, float], AggregateResult]:
     """Full protocol x rate grid, aggregated over seeds with 95% CIs.
 
     The parallel, cached engine behind
     :func:`repro.experiments.runner.sweep`.  Runs every
     ``(protocol, rate, seed)`` cell via :func:`run_grid` (batched into
-    per-(protocol, rate) seed groups unless ``batch=False``), then folds
-    each (protocol, rate) group over its seeds **in ascending-seed
-    order**, so aggregates match the serial path bit-for-bit.
-    ``on_aggregate`` fires once per finished group (console reporting
-    hooks).
+    per-(protocol, rate) seed groups unless ``batch=False``; on the
+    warm-worker path when ``warm`` and the run is pooled and
+    store-backed), then folds each (protocol, rate) group over its seeds
+    **in ascending-seed order**, so aggregates match the serial path
+    bit-for-bit.  ``on_aggregate`` fires once per finished group
+    (console reporting hooks).
 
     Under ``policy.on_error == "continue"`` a group aggregates over its
     surviving seeds only; a group with no surviving seed is absent from
@@ -1028,6 +1445,7 @@ def run_sweep(
         manifest=manifest,
         failures=failures,
         interrupt=interrupt,
+        warm=warm,
     )
     grid: dict[tuple[str, float], AggregateResult] = {}
     for protocol in protocols:

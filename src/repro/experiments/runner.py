@@ -20,8 +20,10 @@ rows/series the paper's figures plot:
 processes and ``store=ResultStore(...)`` to reuse completed runs from disk.
 Results are bit-identical regardless of ``jobs`` (each cell derives all
 randomness from its own seed) and of which store backend caches them —
-the full contract is six-way (serial == parallel == cached == batched ==
-resumed == merged; see :mod:`repro.experiments.parallel`).  A completed
+the full contract is seven-way (serial == parallel == cached == batched
+== resumed == merged == warm; see :mod:`repro.experiments.parallel`,
+whose warm-worker dispatch writes entries from the pool workers
+themselves).  A completed
 sweep's store renders into a standalone HTML campaign report via
 :mod:`repro.report` (``repro report`` / ``sweep --report``).
 """
@@ -111,6 +113,74 @@ def run_batch(
     return results
 
 
+def run_batch_receipts(
+    scenario: Scenario,
+    protocol: str,
+    rate_kbps: float,
+    seeds: Sequence[int],
+    store: "ResultStore",
+    fingerprint,
+    placement=None,
+    geometry=None,
+) -> list:
+    """Run one seed group worker-side, persisting results as it goes.
+
+    The warm-worker counterpart of :func:`run_batch`: instead of
+    accumulating :class:`RunResult` objects for the parent to pickle back
+    and persist, each finished seed is written **directly** into the
+    (multi-process-safe) result store and only a
+    :class:`~repro.experiments.parallel.CellReceipt` — cache key, payload
+    digest, event count — travels back over the pool, so IPC is O(digest)
+    per cell instead of O(payload).  ``placement``/``geometry`` come from
+    the worker's memoized shared-scenario state (the warm pool
+    initializer), so sibling batches reuse one frozen
+    :class:`~repro.sim.channel.ChannelGeometry` instead of re-freezing
+    per dispatch unit.
+
+    A seed whose entry already exists (a crashed-then-retried batch whose
+    earlier attempt persisted it; digest-verified on read) is skipped and
+    reported as a ``cached`` receipt — re-simulating it would produce the
+    same bytes anyway, per the determinism contract.  Failures raise
+    :class:`~repro.experiments.parallel.GridCellError` naming the exact
+    ``(protocol, rate, seed)``, exactly like :func:`run_batch`.
+    """
+    from repro.experiments.parallel import CellReceipt, GridCell, GridCellError
+    from repro.experiments.resilience import maybe_inject_fault
+    from repro.experiments.store import cell_key_from_fingerprint
+
+    receipts = []
+    for seed in seeds:
+        key = cell_key_from_fingerprint(fingerprint, protocol, rate_kbps, seed)
+        existing = store.get_run_entry(key)
+        if existing is not None:
+            result, digest = existing
+            receipts.append(
+                CellReceipt(
+                    key=key,
+                    digest=digest,
+                    events=result.events_processed,
+                    cached=True,
+                )
+            )
+            continue
+        try:
+            maybe_inject_fault(_fault_label(protocol, rate_kbps, seed))
+            config = scenario.config(
+                protocol, rate_kbps, seed, placement=placement
+            )
+            result = WirelessNetwork(config, geometry=geometry).run()
+            digest = store.put_run(key, result, fingerprint=fingerprint)
+        except Exception as exc:
+            cell = GridCell(protocol, float(rate_kbps), int(seed))
+            raise GridCellError.from_exception(cell, exc) from exc
+        receipts.append(
+            CellReceipt(
+                key=key, digest=digest, events=result.events_processed
+            )
+        )
+    return receipts
+
+
 def run_many(
     scenario: Scenario,
     protocol: str,
@@ -120,12 +190,15 @@ def run_many(
     progress: bool = False,
     batch: bool = True,
     policy=None,
+    warm: bool = True,
 ) -> AggregateResult:
     """Run ``scenario.runs`` seeds of one configuration and aggregate.
 
     Seeds fan out across ``jobs`` processes and reuse ``store`` when given;
     with ``batch`` (the default) the seed group dispatches as one
-    :class:`~repro.experiments.parallel.GridBatch` sharing setup work.
+    :class:`~repro.experiments.parallel.GridBatch` sharing setup work, and
+    with ``warm`` (the default) a pooled, store-backed run uses the
+    warm-worker dispatch path (results bit-identical either way).
     A failing seed raises :class:`~repro.experiments.parallel.GridCellError`
     naming the offending ``(protocol, rate, seed)`` instead of an opaque
     mid-grid traceback; ``policy`` (a
@@ -143,6 +216,7 @@ def run_many(
         progress=progress,
         batch=batch,
         policy=policy,
+        warm=warm,
     )
     return aggregate_runs([results[cell] for cell in cells])
 
@@ -160,17 +234,19 @@ def sweep(
     manifest=None,
     failures=None,
     interrupt=None,
+    warm: bool = True,
 ) -> dict[tuple[str, float], AggregateResult]:
     """Full protocol x rate grid for a scenario.
 
     Returns ``{(protocol, rate): AggregateResult}``; iterate rates in inner
     order to print one figure line per protocol.  ``jobs``/``store``/
-    ``progress``/``batch`` are forwarded to
+    ``progress``/``batch``/``warm`` are forwarded to
     :func:`repro.experiments.parallel.run_sweep`, the orchestration engine
     (``batch`` groups each (protocol, rate)'s seeds into one dispatch
-    unit; results are bit-identical either way), as are the resilience
-    hooks ``policy``/``manifest``/``failures``/``interrupt`` (see
-    :mod:`repro.experiments.resilience`).
+    unit; ``warm`` lets a pooled, store-backed sweep run on the
+    warm-worker path; results are bit-identical either way), as are the
+    resilience hooks ``policy``/``manifest``/``failures``/``interrupt``
+    (see :mod:`repro.experiments.resilience`).
     ``verbose`` prints one stdout line per (protocol, rate) aggregate once
     the grid completes, and turns on per-cell stderr progress so a long
     sweep stays visibly alive while it runs.
@@ -196,6 +272,7 @@ def sweep(
         manifest=manifest,
         failures=failures,
         interrupt=interrupt,
+        warm=warm,
     )
 
 

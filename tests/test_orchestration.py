@@ -271,25 +271,29 @@ class TestDeterminismContract:
         assert self._digest(results[cell].to_payload()) == self.FIG8_CELL_DIGEST
 
     def test_four_way_contract_pinned(self, tiny, tmp_path):
-        """serial == parallel == cached == batched, bit for bit and pinned.
+        """serial == parallel == cached == batched == warm, bit for bit.
 
-        One grid, four execution modes; every mode must reproduce the
+        One grid, five execution modes; every mode must reproduce the
         recorded digest for the pinned cell and identical payloads for
-        every other cell.
+        every other cell.  (The warm leg's store-byte equivalence and
+        resilience behaviour are pinned in ``tests/test_warm_sweep.py``.)
         """
         cells = grid_cells(tiny)
         serial = run_grid(tiny, cells, jobs=1, batch=False)
         parallel = run_grid(tiny, cells, jobs=2, batch=False)
-        batched = run_grid(tiny, cells, jobs=2, batch=True)
+        batched = run_grid(tiny, cells, jobs=2, batch=True, warm=False)
         store = ResultStore(tmp_path)
         run_grid(tiny, cells, jobs=1, batch=True, store=store)
         cached = run_grid(tiny, cells, jobs=1, batch=True, store=store)
         assert store.hits == len(cells)  # second pass was pure cache
+        warm_store = ResultStore(tmp_path / "warm")
+        warm = run_grid(tiny, cells, jobs=2, batch=True, store=warm_store)
         for cell in cells:
             reference = serial[cell].to_payload()
             assert parallel[cell].to_payload() == reference
             assert batched[cell].to_payload() == reference
             assert cached[cell].to_payload() == reference
+            assert warm[cell].to_payload() == reference
         pinned = GridCell("DSR-ODPM", 2.0, 1)
         assert self._digest(serial[pinned].to_payload()) == self.TINY_CELL_DIGEST
 

@@ -1,0 +1,409 @@
+"""Warm-worker dispatch tests: the contract's seventh leg (warm == cold).
+
+The warm path changes *where* work happens — placement/geometry memoized
+per worker, store entries written worker-side, only digest receipts
+returned — but must not change a single stored byte.  These tests pin
+that equivalence on both store backends, exercise the crash/fallback
+recovery paths under worker-side writes, and cover the satellites that
+ride along: cost-model scheduling (permutation invariance),
+``_split_for_jobs`` properties, the reporter's events/s + utilization
+readout and its cache-skew-free ETA, and the zombie-free worker reaper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.costmodel import SweepCostModel
+from repro.experiments.parallel import (
+    GridBatch,
+    GridCell,
+    ProgressReporter,
+    _split_for_jobs,
+    _terminate_workers,
+    batch_cells,
+    grid_cells,
+    run_grid,
+)
+from repro.experiments.resilience import (
+    FAULT_INJECT_ENV,
+    FaultPolicy,
+    SweepManifest,
+)
+from repro.experiments.scenarios import Scenario
+from repro.experiments.store import ResultStore, cell_key
+
+#: The pinned digest of the tiny fixture's (DSR-ODPM, 2 Kbit/s, seed 1)
+#: cell — the same constant the orchestration and resilience suites pin
+#: their legs of the determinism contract against.  The warm leg must
+#: reproduce it bit for bit.
+TINY_CELL_DIGEST = (
+    "d038f4c678d5f4e86895ea42fa481e55b91603ff1abe311a95bff03765dfc914"
+)
+
+PINNED_CELL = GridCell("DSR-ODPM", 2.0, 1)
+
+
+@pytest.fixture
+def tiny() -> Scenario:
+    """The same 3x3 grid the orchestration tests pin their digest on."""
+    return Scenario(
+        name="tiny-test",
+        node_count=9,
+        field_size=120.0,
+        flow_count=3,
+        rates_kbps=(2.0, 4.0),
+        duration=10.0,
+        runs=2,
+        grid=True,
+        protocols=("DSR-ODPM",),
+    )
+
+
+def _digest(result) -> str:
+    canonical = json.dumps(
+        result.to_payload(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _tree(root) -> dict[str, bytes]:
+    """Every file under ``root`` as ``{relative_path: bytes}``."""
+    root = Path(root)
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+def _logical_entries(store: ResultStore) -> dict[str, dict]:
+    """Backend-independent view of a store's run entries."""
+    return dict(store.backend.entries("runs"))
+
+
+def _arm_faults(monkeypatch, tmp_path, spec: str):
+    """Point REPRO_FAULT_INJECT at a fresh marker dir; returns the dir."""
+    directory = tmp_path / "faults"
+    monkeypatch.setenv(FAULT_INJECT_ENV, "%s%s" % (directory, spec))
+    return directory
+
+
+class TestWarmContract:
+    def test_warm_equals_cold_bytes_json(self, tiny, tmp_path):
+        """Worker-side writes produce the exact bytes parent-side did."""
+        cells = grid_cells(tiny)
+        cold_store = ResultStore(tmp_path / "cold", backend="json")
+        warm_store = ResultStore(tmp_path / "warm", backend="json")
+        cold = run_grid(tiny, cells, jobs=2, store=cold_store, warm=False)
+        warm = run_grid(tiny, cells, jobs=2, store=warm_store, warm=True)
+        assert _tree(tmp_path / "warm") == _tree(tmp_path / "cold")
+        for cell in cells:
+            assert warm[cell].to_payload() == cold[cell].to_payload()
+        assert _digest(warm[PINNED_CELL]) == TINY_CELL_DIGEST
+        # The writes counter keeps its meaning: one write per cell this
+        # sweep produced, whoever held the pen.
+        assert cold_store.writes == len(cells)
+        assert warm_store.writes == len(cells)
+
+    def test_warm_equals_cold_sqlite(self, tiny, tmp_path):
+        """Same equivalence on the sqlite backend, compared logically
+        (two sqlite files with identical rows differ in page bytes)."""
+        cells = grid_cells(tiny)
+        cold_store = ResultStore(tmp_path / "cold", backend="sqlite")
+        warm_store = ResultStore(tmp_path / "warm", backend="sqlite")
+        run_grid(tiny, cells, jobs=2, store=cold_store, warm=False)
+        warm = run_grid(tiny, cells, jobs=2, store=warm_store, warm=True)
+        cold_entries = _logical_entries(cold_store)
+        warm_entries = _logical_entries(warm_store)
+        assert warm_entries == cold_entries
+        assert len(warm_entries) == len(cells)
+        assert _digest(warm[PINNED_CELL]) == TINY_CELL_DIGEST
+
+    def test_warm_second_invocation_hits_cache_only(self, tiny, tmp_path):
+        cells = grid_cells(tiny)
+        store = ResultStore(tmp_path / "store")
+        run_grid(tiny, cells, jobs=2, store=store, warm=True)
+        again = ResultStore(tmp_path / "store")
+        results = run_grid(tiny, cells, jobs=2, store=again, warm=True)
+        assert again.hits == len(cells)
+        assert again.writes == 0
+        assert _digest(results[PINNED_CELL]) == TINY_CELL_DIGEST
+
+    def test_warm_fills_a_partially_cached_campaign(self, tiny, tmp_path):
+        """Cache hits and warm-dispatched cells mix without double writes."""
+        cells = grid_cells(tiny)
+        store = ResultStore(tmp_path / "store")
+        head, tail = cells[:1], cells[1:]
+        run_grid(tiny, head, jobs=1, store=store)
+        resumed = ResultStore(tmp_path / "store")
+        results = run_grid(tiny, cells, jobs=2, store=resumed, warm=True)
+        assert resumed.hits == len(head)
+        assert resumed.writes == len(tail)
+        assert _digest(results[PINNED_CELL]) == TINY_CELL_DIGEST
+
+
+class TestWarmResilience:
+    def test_worker_crash_heals_to_pinned_digest(
+        self, tiny, monkeypatch, tmp_path
+    ):
+        """A worker that dies mid-batch under worker-side writes is
+        retried to the exact cold-path store contents."""
+        _arm_faults(monkeypatch, tmp_path, ":1")
+        cells = grid_cells(tiny)
+        store = ResultStore(tmp_path / "store")
+        policy = FaultPolicy(max_retries=3, backoff_base_s=0.01)
+        results = run_grid(
+            tiny, cells, jobs=2, store=store, warm=True, policy=policy
+        )
+        assert set(results) == set(cells)
+        assert _digest(results[PINNED_CELL]) == TINY_CELL_DIGEST
+        assert len(_logical_entries(store)) == len(cells)
+
+    def test_bad_receipt_digest_falls_back_to_cold_dispatch(
+        self, tiny, monkeypatch, tmp_path
+    ):
+        """A receipt whose digest does not verify is not trusted: the cell
+        re-runs through the classic path and the sweep still completes.
+
+        The fork start method ships the parent's monkeypatched module to
+        the pool workers, so corrupting every receipt digest here reaches
+        the worker side.
+        """
+        import repro.experiments.runner as runner_module
+
+        real = runner_module.run_batch_receipts
+
+        def forged(*args, **kwargs):
+            return [
+                type(receipt)(
+                    key=receipt.key,
+                    digest="0" * 64,
+                    events=receipt.events,
+                    cached=receipt.cached,
+                )
+                for receipt in real(*args, **kwargs)
+            ]
+
+        monkeypatch.setattr(runner_module, "run_batch_receipts", forged)
+        cells = grid_cells(tiny)
+        store = ResultStore(tmp_path / "store")
+        results = run_grid(tiny, cells, jobs=2, store=store, warm=True)
+        assert set(results) == set(cells)
+        assert _digest(results[PINNED_CELL]) == TINY_CELL_DIGEST
+        # Every cell still ends up stored exactly once.
+        assert len(_logical_entries(store)) == len(cells)
+
+
+class TestCostModelScheduling:
+    def test_order_is_longest_expected_first(self):
+        model = SweepCostModel(duration_s=10.0)
+        units = batch_cells(
+            [
+                GridCell("DSR-ODPM", rate, seed)
+                for rate in (2.0, 8.0, 4.0)
+                for seed in (1, 2)
+            ]
+        )
+        ordered = model.order(units)
+        assert [unit.rate_kbps for unit in ordered] == [8.0, 4.0, 2.0]
+
+    def test_tie_break_is_original_order(self):
+        model = SweepCostModel()
+        units = [
+            GridBatch("DSR-ODPM", 4.0, (1,)),
+            GridBatch("TITAN-PC", 4.0, (1,)),
+            GridBatch("DSR-Active", 4.0, (1,)),
+        ]
+        assert model.order(units) == units
+
+    def test_observations_beat_the_rate_prior(self):
+        """A protocol observed to be cheap at high rate sinks below one
+        observed to be expensive at low rate."""
+        model = SweepCostModel(duration_s=10.0)
+        model.observe("CHEAP", 8.0, events=10)
+        model.observe("DEAR", 2.0, events=10_000)
+        units = [
+            GridBatch("CHEAP", 8.0, (1,)),
+            GridBatch("DEAR", 2.0, (1,)),
+        ]
+        assert model.order(units)[0].protocol == "DEAR"
+
+    def test_expected_events_resolution_order(self):
+        model = SweepCostModel(duration_s=10.0)
+        model.observe("P", 2.0, events=100)
+        # exact (protocol, rate) observation wins
+        assert model.expected_events("P", 2.0) == 100
+        # same protocol, other rate: scaled linearly
+        assert model.expected_events("P", 4.0) == pytest.approx(200)
+        # unseen protocol: any-protocol mean, scaled
+        assert model.expected_events("Q", 4.0) == pytest.approx(200)
+        # cold model: static prior, proportional to rate and duration
+        cold = SweepCostModel(duration_s=10.0)
+        assert cold.expected_events("P", 4.0) == pytest.approx(
+            2 * cold.expected_events("P", 2.0)
+        )
+
+    def test_unit_cost_scales_with_batch_size(self):
+        model = SweepCostModel()
+        single = GridBatch("P", 4.0, (1,))
+        triple = GridBatch("P", 4.0, (1, 2, 3))
+        assert model.unit_cost(triple) == pytest.approx(
+            3 * model.unit_cost(single)
+        )
+
+    @pytest.mark.parametrize("permutation_seed", [1, 2, 3])
+    def test_permutation_invariance(
+        self, tiny, tmp_path, permutation_seed
+    ):
+        """Any dispatch order yields identical store bytes and manifest
+        state — scheduling is pure wall-clock policy."""
+        import random
+
+        cells = grid_cells(tiny)
+        reference_store = ResultStore(tmp_path / "ref")
+        reference_manifest = SweepManifest(tmp_path / "ref-manifest.json")
+        run_grid(
+            tiny, cells, jobs=2, store=reference_store,
+            manifest=reference_manifest, warm=True,
+        )
+        shuffled = list(cells)
+        random.Random(permutation_seed).shuffle(shuffled)
+        store = ResultStore(tmp_path / "perm")
+        manifest = SweepManifest(tmp_path / "perm-manifest.json")
+        results = run_grid(
+            tiny, shuffled, jobs=2, store=store, manifest=manifest,
+            warm=True,
+        )
+        assert _tree(tmp_path / "perm") == _tree(tmp_path / "ref")
+        assert manifest._states == reference_manifest._states
+        assert _digest(results[PINNED_CELL]) == TINY_CELL_DIGEST
+
+
+class TestSplitForJobs:
+    """Properties of the batch splitter, over a grid of shapes."""
+
+    @pytest.mark.parametrize("jobs", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("group_sizes", [(1,), (6,), (3, 3), (5, 2, 1)])
+    def test_split_preserves_cells_and_order(self, group_sizes, jobs):
+        batches = [
+            GridBatch("P%d" % index, 2.0 * (index + 1),
+                      tuple(range(1, size + 1)))
+            for index, size in enumerate(group_sizes)
+        ]
+        split = _split_for_jobs(batches, jobs)
+        # No cell lost, none duplicated, none moved between groups —
+        # and within a group the seed order survives concatenation.
+        for original in batches:
+            parts = [
+                unit for unit in split
+                if (unit.protocol, unit.rate_kbps)
+                == (original.protocol, original.rate_kbps)
+            ]
+            rejoined = tuple(
+                seed for unit in parts for seed in unit.seeds
+            )
+            assert rejoined == original.seeds
+        assert all(unit.seeds for unit in split)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("group_sizes", [(1,), (6,), (3, 3), (5, 2, 1)])
+    def test_split_feeds_every_worker_it_can(self, group_sizes, jobs):
+        batches = [
+            GridBatch("P%d" % index, 2.0 * (index + 1),
+                      tuple(range(1, size + 1)))
+            for index, size in enumerate(group_sizes)
+        ]
+        split = _split_for_jobs(batches, jobs)
+        total = sum(group_sizes)
+        assert len(split) >= min(jobs, total, len(batches))
+        # Splitting never explodes past one unit per cell.
+        assert len(split) <= total
+
+    def test_exact_pinned_shape_unchanged(self):
+        """The shape test_batch.py pins — kept here as a regression
+        anchor for the scheduler-era splitter."""
+        one_group = [GridBatch("DSR-ODPM", 2.0, (1, 2, 3, 4, 5, 6))]
+        assert [unit.seeds for unit in _split_for_jobs(one_group, 4)] == [
+            (1, 2), (3, 4), (5,), (6,)
+        ]
+
+
+class TestReporterReadout:
+    def test_events_per_second_column(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, enabled=True, stream=stream)
+        reporter.note_events(50_000)
+        reporter.advance(GridCell("DSR-ODPM", 2.0, 1))
+        assert "ev/s" in stream.getvalue()
+
+    def test_eta_ignores_time_spent_reading_the_cache(self):
+        """A long cache-read prefix must not inflate the live ETA."""
+        import io
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=4, enabled=True, stream=stream)
+        # Pretend the sweep spent ages before the cache partition ended.
+        reporter._start = time.monotonic() - 1000.0
+        reporter.cached(2)
+        reporter.advance(GridCell("DSR-ODPM", 2.0, 1))
+        line = stream.getvalue().splitlines()[-1]
+        eta = float(line.split("ETA")[1].split("s")[0])
+        # One live cell took ~0s, one remains: ETA must be seconds, not
+        # the ~500s a total-elapsed extrapolation would project.
+        assert eta < 100.0
+
+    def test_busy_samples_integrate_to_utilization(self):
+        reporter = ProgressReporter(total=4, enabled=False)
+        reporter.jobs = 2
+        reporter._live_start = time.monotonic() - 1.0
+        reporter.note_busy(2)
+        reporter._busy_sample = (time.monotonic() - 1.0, 2)
+        reporter.note_busy(0)
+        assert reporter._busy_s == pytest.approx(2.0, rel=0.05)
+        assert 0.0 < reporter.utilization <= 1.0
+
+    def test_finish_prints_summary_only_after_live_cells(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, enabled=True, stream=stream)
+        reporter.cached(2)
+        reporter.finish()
+        assert "simulated" not in stream.getvalue()
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, enabled=True, stream=stream)
+        reporter.note_events(1000)
+        reporter.advance(GridCell("DSR-ODPM", 2.0, 1))
+        reporter.finish()
+        summary = stream.getvalue().splitlines()[-1]
+        assert "1 cell(s) simulated" in summary
+        assert "events/s" in summary
+
+
+class TestTerminateWorkers:
+    def test_terminated_workers_are_reaped_not_zombied(self):
+        """After _terminate_workers every worker is dead *and* waited on
+        (exitcode collected), so no defunct entries accumulate."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=2)
+        pool.submit(time.sleep, 60)
+        pool.submit(time.sleep, 60)
+        # Let the workers actually spawn and pick the tasks up.
+        deadline = time.monotonic() + 10.0
+        while len(pool._processes) < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        processes = list(pool._processes.values())
+        _terminate_workers(pool, join_timeout_s=10.0)
+        for process in processes:
+            assert not process.is_alive()
+            assert process.exitcode is not None
+        pool.shutdown(wait=False, cancel_futures=True)
